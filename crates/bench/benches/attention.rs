@@ -1,0 +1,52 @@
+//! **Ablation D5**: linear attention must scale linearly in the node count
+//! while the naive quadratic formulation scales quadratically — the
+//! complexity claim of Section 4.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neuro::{init_rng, LinearAttention, Matrix, ParamStore, Session, Tape};
+use rand::Rng;
+use std::hint::black_box;
+
+fn random_features(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = init_rng(seed);
+    Matrix::from_vec(n, d, (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn attention_scaling(c: &mut Criterion) {
+    const DIM: usize = 32;
+    let mut store = ParamStore::new();
+    let mut rng = init_rng(1);
+    let attn = LinearAttention::new(&mut store, DIM, &mut rng);
+
+    let mut group = c.benchmark_group("attention_scaling");
+    for n in [64usize, 256, 1024, 4096] {
+        let z_val = random_features(n, DIM, n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("linear", n), &z_val, |b, z_val| {
+            b.iter(|| {
+                let mut tape = Tape::new();
+                let mut sess = Session::new(&store);
+                let z = tape.leaf(z_val.clone());
+                let out = attn.forward(&mut tape, &mut sess, &store, z);
+                black_box(tape.value(out).get(0, 0))
+            });
+        });
+        // The quadratic reference becomes prohibitive beyond ~4k nodes —
+        // which is precisely the point of the ablation.
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("quadratic", n), &z_val, |b, z_val| {
+                b.iter(|| {
+                    let mut tape = Tape::new();
+                    let mut sess = Session::new(&store);
+                    let z = tape.leaf(z_val.clone());
+                    let out = attn.forward_quadratic(&mut tape, &mut sess, &store, z);
+                    black_box(tape.value(out).get(0, 0))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, attention_scaling);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the neural pipeline: HGT forward (inference,
+//! the cost Figure 7(b) reports), forward+backward (training step), and the
+//! graph-conversion preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neuro::{
+    Adam, GraphTensors, NeuroSelectConfig, NeuroSelectModel, ParamStore, Session, Tape,
+};
+use neuroselect::sat_gen::phase_transition_3sat;
+use sat_graph::BipartiteGraph;
+use std::hint::black_box;
+
+fn model_and_store(dim: usize) -> (NeuroSelectModel, ParamStore) {
+    let mut store = ParamStore::new();
+    let model = NeuroSelectModel::new(
+        &mut store,
+        NeuroSelectConfig {
+            hidden_dim: dim,
+            hgt_layers: 2,
+            mpnn_per_hgt: 3,
+            use_attention: true,
+            seed: 1,
+        },
+    );
+    (model, store)
+}
+
+/// One-time inference cost vs. instance size (Figure 7(b)'s x-axis).
+fn inference(c: &mut Criterion) {
+    let (model, store) = model_and_store(32);
+    let mut group = c.benchmark_group("hgt_inference");
+    group.sample_size(10);
+    for vars in [50u32, 150, 400] {
+        let f = phase_transition_3sat(vars, 7);
+        let tensors = GraphTensors::new(&BipartiteGraph::from_cnf(&f));
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &tensors, |b, g| {
+            b.iter(|| black_box(model.predict(&store, g)));
+        });
+    }
+    group.finish();
+}
+
+/// Training-step cost (forward + backward + Adam).
+fn train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hgt_train_step");
+    group.sample_size(10);
+    let f = phase_transition_3sat(120, 3);
+    let tensors = GraphTensors::new(&BipartiteGraph::from_cnf(&f));
+    let (model, mut store) = model_and_store(16);
+    let mut adam = Adam::new(1e-3);
+    group.bench_function("dim16_vars120", |b| {
+        b.iter(|| black_box(model.train_step(&mut store, &mut adam, &tensors, 1)));
+    });
+    group.finish();
+}
+
+/// Graph conversion + tensor preparation (part of the inference time the
+/// paper charges to NeuroSelect-Kissat).
+fn graph_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_conversion");
+    for vars in [100u32, 400] {
+        let f = phase_transition_3sat(vars, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &f, |b, f| {
+            b.iter(|| {
+                let g = BipartiteGraph::from_cnf(black_box(f));
+                black_box(GraphTensors::new(&g).num_vars)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Forward-only tape construction vs. forward+backward, to expose the
+/// autodiff overhead factor.
+fn forward_vs_backward(c: &mut Criterion) {
+    let f = phase_transition_3sat(80, 11);
+    let tensors = GraphTensors::new(&BipartiteGraph::from_cnf(&f));
+    let (model, store) = model_and_store(16);
+    let mut group = c.benchmark_group("autodiff_overhead");
+    group.sample_size(10);
+    group.bench_function("forward_only", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut sess = Session::new(&store);
+            let logit = model.forward(&mut tape, &mut sess, &store, &tensors);
+            black_box(tape.value(logit).get(0, 0))
+        });
+    });
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let mut sess = Session::new(&store);
+            let logit = model.forward(&mut tape, &mut sess, &store, &tensors);
+            let loss = tape.bce_with_logits(logit, 1.0);
+            let grads = tape.backward(loss);
+            black_box(grads.get(logit, &tape).get(0, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, inference, train_step, graph_conversion, forward_vs_backward);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Diagnostic: per-family hardness vs. size — conflicts, propagations,
+//! reductions, and wall time for representative instances of every
+//! generator family. Used to calibrate `sat-gen`'s dataset sizing so that
+//! each instance reaches several clause-database reductions (otherwise the
+//! two deletion policies cannot diverge and labels degenerate).
+//!
+//! ```text
+//! cargo run --release -p bench --bin probe_hardness
+//! ```
+
+use bench::print_table;
+use neuroselect::sat_gen::{
+    coloring_cnf, equivalence_miter_cnf, phase_transition_3sat, pigeonhole,
+    tseitin_expander_unsat, Graph,
+};
+use neuroselect::sat_solver::{solve_with_policy, Budget, PolicyKind};
+use std::time::Instant;
+
+fn main() {
+    let budget = Budget::propagations(30_000_000);
+    let mut rows = Vec::new();
+    let mut run = |name: String, f: cnf::Cnf| {
+        let t = Instant::now();
+        let (r, s) = solve_with_policy(&f, PolicyKind::Default, budget);
+        rows.push(vec![
+            name,
+            f.num_vars().to_string(),
+            f.num_clauses().to_string(),
+            s.conflicts.to_string(),
+            s.propagations.to_string(),
+            s.reductions.to_string(),
+            if r.is_unknown() {
+                "TIMEOUT".into()
+            } else if r.is_sat() {
+                "SAT".into()
+            } else {
+                "UNSAT".into()
+            },
+            format!("{:.2}", t.elapsed().as_secs_f64()),
+        ]);
+    };
+
+    for n in [120u32, 150, 180] {
+        run(format!("3sat n={n}"), phase_transition_3sat(n, 9));
+    }
+    for v in [12u32, 18, 24] {
+        run(format!("tseitin v={v}"), tseitin_expander_unsat(v, 3));
+    }
+    for h in [6u32, 7, 8] {
+        run(format!("php holes={h}"), pigeonhole(h + 1, h));
+    }
+    for v in [40u32, 70] {
+        let e = (v as f64 * 2.35) as usize;
+        run(
+            format!("coloring v={v}"),
+            coloring_cnf(&Graph::random(v, e, 5), 3),
+        );
+    }
+    for gates in [250usize, 450] {
+        let spec = logic_circuit::RandomCircuitSpec {
+            num_inputs: 10,
+            num_gates: gates,
+            num_outputs: 3,
+        };
+        run(format!("miter gates={gates}"), equivalence_miter_cnf(spec, 7));
+    }
+
+    print_table(
+        &[
+            "instance", "vars", "clauses", "conflicts", "props", "reduces", "verdict", "secs",
+        ],
+        &rows,
+    );
+}

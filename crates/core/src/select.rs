@@ -1,0 +1,148 @@
+//! The NeuroSelect-guided solver: one model inference picks the deletion
+//! policy, then the CDCL solver runs with it (Section 4.1, Figure 6).
+
+use crate::{Classifier, NeuroSelectClassifier};
+use cnf::Cnf;
+use sat_solver::{solve_with_policy, Budget, PolicyKind, SolveResult, SolverStats};
+use std::time::{Duration, Instant};
+
+/// The record of one NeuroSelect-guided solve, including the one-time
+/// inference cost the paper folds into NeuroSelect-Kissat's runtime.
+#[derive(Debug, Clone)]
+pub struct SelectionOutcome {
+    /// The solver verdict.
+    pub result: SolveResult,
+    /// Solver statistics of the selected run.
+    pub stats: SolverStats,
+    /// The policy the model chose.
+    pub chosen: PolicyKind,
+    /// The model's probability for the propagation-frequency policy.
+    pub probability: f32,
+    /// Wall-clock time of the model inference (graph build + forward pass).
+    pub inference_time: Duration,
+    /// Wall-clock time of the solving phase.
+    pub solve_time: Duration,
+}
+
+impl SelectionOutcome {
+    /// Total wall-clock cost (inference + solving), the paper's
+    /// "NeuroSelect-Kissat runtime".
+    pub fn total_time(&self) -> Duration {
+        self.inference_time + self.solve_time
+    }
+}
+
+/// A trained NeuroSelect classifier wrapped as a policy-selecting solver
+/// front end.
+///
+/// Mirrors the paper's deployment: instances whose graph exceeds
+/// `node_cutoff` skip inference and use the default policy (the paper uses
+/// 400 000 nodes, a GPU-memory limit kept here for fidelity).
+pub struct NeuroSelectSolver {
+    classifier: NeuroSelectClassifier,
+    /// Graph-size cutoff above which the default policy is used unselected.
+    pub node_cutoff: usize,
+    /// Decision threshold on the predicted probability.
+    pub threshold: f32,
+}
+
+impl NeuroSelectSolver {
+    /// Wraps a trained classifier with the paper's deployment defaults.
+    pub fn new(classifier: NeuroSelectClassifier) -> Self {
+        NeuroSelectSolver {
+            classifier,
+            node_cutoff: 400_000,
+            threshold: 0.5,
+        }
+    }
+
+    /// Access to the wrapped classifier.
+    pub fn classifier(&self) -> &NeuroSelectClassifier {
+        &self.classifier
+    }
+
+    /// Picks the deletion policy for a formula (one model inference),
+    /// returning the policy, probability, and inference time.
+    pub fn select_policy(&self, formula: &Cnf) -> (PolicyKind, f32, Duration) {
+        let start = Instant::now();
+        let nodes = formula.num_vars() as usize + formula.num_clauses();
+        if nodes > self.node_cutoff {
+            return (PolicyKind::Default, 0.0, start.elapsed());
+        }
+        let prepared = self.classifier.prepare(formula);
+        let probability = self.classifier.predict(&prepared);
+        let chosen = if probability > self.threshold {
+            PolicyKind::PropFreq
+        } else {
+            PolicyKind::Default
+        };
+        (chosen, probability, start.elapsed())
+    }
+
+    /// Solves a formula with the model-selected deletion policy.
+    pub fn solve(&self, formula: &Cnf, budget: Budget) -> SelectionOutcome {
+        let (chosen, probability, inference_time) = self.select_policy(formula);
+        let solve_start = Instant::now();
+        let (result, stats) = solve_with_policy(formula, chosen, budget);
+        SelectionOutcome {
+            result,
+            stats,
+            chosen,
+            probability,
+            inference_time,
+            solve_time: solve_start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuro::NeuroSelectConfig;
+
+    fn tiny_solver() -> NeuroSelectSolver {
+        NeuroSelectSolver::new(NeuroSelectClassifier::new(
+            NeuroSelectConfig {
+                hidden_dim: 8,
+                hgt_layers: 1,
+                mpnn_per_hgt: 1,
+                use_attention: true,
+                seed: 3,
+            },
+            0.01,
+        ))
+    }
+
+    #[test]
+    fn solve_returns_valid_outcome() {
+        let f = sat_gen::phase_transition_3sat(30, 4);
+        let s = tiny_solver();
+        let out = s.solve(&f, Budget::unlimited());
+        assert!(!out.result.is_unknown());
+        if let Some(model) = out.result.model() {
+            assert!(cnf::verify_model(&f, model).is_ok());
+        }
+        assert!(out.total_time() >= out.inference_time);
+        assert!((0.0..=1.0).contains(&out.probability));
+    }
+
+    #[test]
+    fn oversized_instances_skip_inference() {
+        let f = sat_gen::phase_transition_3sat(30, 4);
+        let mut s = tiny_solver();
+        s.node_cutoff = 1; // force the cutoff path
+        let (policy, prob, _) = s.select_policy(&f);
+        assert_eq!(policy, PolicyKind::Default);
+        assert_eq!(prob, 0.0);
+    }
+
+    #[test]
+    fn threshold_controls_choice() {
+        let f = sat_gen::phase_transition_3sat(20, 1);
+        let mut s = tiny_solver();
+        s.threshold = -1.0; // everything above: always prop-freq
+        assert_eq!(s.select_policy(&f).0, PolicyKind::PropFreq);
+        s.threshold = 2.0; // never
+        assert_eq!(s.select_policy(&f).0, PolicyKind::Default);
+    }
+}

@@ -1,0 +1,412 @@
+//! Gate-level combinational circuits.
+
+use std::fmt;
+
+/// A node (wire) in a [`Circuit`], identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Crate-internal: reconstructs a `NodeId` from an index into
+    /// [`Circuit::gates`].
+    pub(crate) fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The function computed by a circuit node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// A primary input.
+    Input,
+    /// A constant value.
+    Const(bool),
+    /// Logical negation of one node.
+    Not(NodeId),
+    /// Conjunction of two nodes.
+    And(NodeId, NodeId),
+    /// Disjunction of two nodes.
+    Or(NodeId, NodeId),
+    /// Exclusive or of two nodes.
+    Xor(NodeId, NodeId),
+    /// Negated conjunction.
+    Nand(NodeId, NodeId),
+    /// Negated disjunction.
+    Nor(NodeId, NodeId),
+    /// Negated exclusive or (equivalence).
+    Xnor(NodeId, NodeId),
+    /// Multiplexer: `if sel { hi } else { lo }`.
+    Mux {
+        /// Select line.
+        sel: NodeId,
+        /// Output when `sel` is true.
+        hi: NodeId,
+        /// Output when `sel` is false.
+        lo: NodeId,
+    },
+}
+
+impl Gate {
+    /// The fan-in nodes of this gate.
+    pub fn fanin(&self) -> Vec<NodeId> {
+        match *self {
+            Gate::Input | Gate::Const(_) => vec![],
+            Gate::Not(a) => vec![a],
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xnor(a, b) => vec![a, b],
+            Gate::Mux { sel, hi, lo } => vec![sel, hi, lo],
+        }
+    }
+}
+
+/// A combinational circuit: a DAG of gates over primary inputs.
+///
+/// Nodes are created through builder methods and may only reference
+/// already-existing nodes, so the node list is always topologically ordered.
+///
+/// # Examples
+///
+/// Build a 1-bit full adder and evaluate it:
+///
+/// ```
+/// use logic_circuit::Circuit;
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let cin = c.input();
+/// let ab = c.xor(a, b);
+/// let sum = c.xor(ab, cin);
+/// let t1 = c.and_gate(a, b);
+/// let t2 = c.and_gate(ab, cin);
+/// let carry = c.or(t1, t2);
+/// c.set_outputs([sum, carry]);
+/// assert_eq!(c.evaluate(&[true, true, false]), vec![false, true]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        for dep in gate.fanin() {
+            assert!(
+                dep.index() < self.gates.len(),
+                "gate references a node that does not exist yet"
+            );
+        }
+        let id = NodeId(self.gates.len() as u32);
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> NodeId {
+        let id = self.push(Gate::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds a NOT gate.
+    pub fn not_gate(&mut self, a: NodeId) -> NodeId {
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds an AND gate.
+    pub fn and_gate(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds an OR gate.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds an XOR gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a NAND gate.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Nand(a, b))
+    }
+
+    /// Adds a NOR gate.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Nor(a, b))
+    }
+
+    /// Adds an XNOR gate.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xnor(a, b))
+    }
+
+    /// Adds a 2:1 multiplexer `sel ? hi : lo`.
+    pub fn mux(&mut self, sel: NodeId, hi: NodeId, lo: NodeId) -> NodeId {
+        self.push(Gate::Mux { sel, hi, lo })
+    }
+
+    /// Adds a balanced AND tree over the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn and_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "and_many needs at least one node");
+        let mut layer = nodes.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(match pair {
+                    [a, b] => self.and_gate(*a, *b),
+                    [a] => *a,
+                    _ => unreachable!(),
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Adds a balanced OR tree over the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn or_many(&mut self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "or_many needs at least one node");
+        let mut layer = nodes.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(match pair {
+                    [a, b] => self.or(*a, *b),
+                    [a] => *a,
+                    _ => unreachable!(),
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Declares the circuit's outputs (replacing any previous set).
+    pub fn set_outputs(&mut self, outputs: impl IntoIterator<Item = NodeId>) {
+        self.outputs = outputs.into_iter().collect();
+        for &o in &self.outputs {
+            assert!(o.index() < self.gates.len(), "output node does not exist");
+        }
+    }
+
+    /// Primary inputs in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Declared outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All gates, topologically ordered.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nodes (inputs + gates + constants).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of non-input, non-constant gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g, Gate::Input | Gate::Const(_)))
+            .count()
+    }
+
+    /// Evaluates the circuit, returning output values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of inputs.
+    pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        let values = self.evaluate_all(input_values);
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Evaluates the circuit, returning the value of every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of inputs.
+    pub fn evaluate_all(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "wrong number of input values"
+        );
+        let mut values = vec![false; self.gates.len()];
+        let mut next_input = 0;
+        for (i, gate) in self.gates.iter().enumerate() {
+            values[i] = match *gate {
+                Gate::Input => {
+                    let v = input_values[next_input];
+                    next_input += 1;
+                    v
+                }
+                Gate::Const(b) => b,
+                Gate::Not(a) => !values[a.index()],
+                Gate::And(a, b) => values[a.index()] & values[b.index()],
+                Gate::Or(a, b) => values[a.index()] | values[b.index()],
+                Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
+                Gate::Nand(a, b) => !(values[a.index()] & values[b.index()]),
+                Gate::Nor(a, b) => !(values[a.index()] | values[b.index()]),
+                Gate::Xnor(a, b) => !(values[a.index()] ^ values[b.index()]),
+                Gate::Mux { sel, hi, lo } => {
+                    if values[sel.index()] {
+                        values[hi.index()]
+                    } else {
+                        values[lo.index()]
+                    }
+                }
+            };
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let cin = c.input();
+        let ab = c.xor(a, b);
+        let sum = c.xor(ab, cin);
+        let t1 = c.and_gate(a, b);
+        let t2 = c.and_gate(ab, cin);
+        let carry = c.or(t1, t2);
+        c.set_outputs([sum, carry]);
+        for bits in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expected_sum = ins.iter().filter(|&&x| x).count();
+            let out = c.evaluate(&ins);
+            assert_eq!(out[0], expected_sum % 2 == 1);
+            assert_eq!(out[1], expected_sum >= 2);
+        }
+    }
+
+    #[test]
+    fn all_gate_kinds() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let s = c.input();
+        let gates = [
+            c.not_gate(a),
+            c.and_gate(a, b),
+            c.or(a, b),
+            c.xor(a, b),
+            c.nand(a, b),
+            c.nor(a, b),
+            c.xnor(a, b),
+            c.mux(s, a, b),
+            c.constant(true),
+            c.constant(false),
+        ];
+        c.set_outputs(gates);
+        let out = c.evaluate(&[true, false, true]);
+        assert_eq!(
+            out,
+            vec![false, false, true, true, true, false, false, true, true, false]
+        );
+        let out = c.evaluate(&[false, true, false]);
+        assert_eq!(
+            out,
+            vec![true, false, true, true, true, false, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn and_or_many_match_folds() {
+        let mut c = Circuit::new();
+        let ins: Vec<NodeId> = (0..5).map(|_| c.input()).collect();
+        let all = c.and_many(&ins);
+        let any = c.or_many(&ins);
+        c.set_outputs([all, any]);
+        for bits in 0..32u32 {
+            let vals: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            let out = c.evaluate(&vals);
+            assert_eq!(out[0], vals.iter().all(|&v| v));
+            assert_eq!(out[1], vals.iter().any(|&v| v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_reference_rejected() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let _g = c.and_gate(a, a);
+        c.set_outputs([NodeId(99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number")]
+    fn wrong_input_arity_rejected() {
+        let mut c = Circuit::new();
+        c.input();
+        c.evaluate(&[]);
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let t = c.constant(true);
+        let g = c.and_gate(a, t);
+        c.set_outputs([g]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.num_gates(), 1);
+        assert_eq!(c.inputs().len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Miter construction for combinational equivalence checking.
+
+use crate::{Circuit, Gate, NodeId};
+
+/// Builds the miter of two circuits with identical interfaces.
+///
+/// The miter shares one set of primary inputs, instantiates both circuits on
+/// them, XORs each output pair and ORs the XORs into a single output. The
+/// miter output is `1` for some input iff the circuits differ on that input,
+/// so **the circuits are equivalent iff the miter is unsatisfiable** when
+/// its output is asserted high.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree on input or output arity, or declare no
+/// outputs.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::{encode, miter, Circuit};
+/// use sat_solver::Solver;
+///
+/// // x AND y, built two different ways.
+/// let mut a = Circuit::new();
+/// let (x, y) = (a.input(), a.input());
+/// let g = a.and_gate(x, y);
+/// a.set_outputs([g]);
+///
+/// let mut b = Circuit::new();
+/// let (x, y) = (b.input(), b.input());
+/// let nx = b.not_gate(x);
+/// let ny = b.not_gate(y);
+/// let nor = b.nor(nx, ny); // ¬(¬x ∨ ¬y) = x ∧ y
+/// b.set_outputs([nor]);
+///
+/// let m = miter(&a, &b);
+/// let mut enc = encode(&m);
+/// enc.assert_node(m.outputs()[0], true);
+/// assert!(Solver::from_cnf(&enc.cnf).solve().is_unsat()); // equivalent
+/// ```
+pub fn miter(a: &Circuit, b: &Circuit) -> Circuit {
+    assert_eq!(
+        a.inputs().len(),
+        b.inputs().len(),
+        "miter requires equal input arity"
+    );
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "miter requires equal output arity"
+    );
+    assert!(!a.outputs().is_empty(), "miter requires at least one output");
+
+    let mut m = Circuit::new();
+    let shared: Vec<NodeId> = (0..a.inputs().len()).map(|_| m.input()).collect();
+    let a_map = instantiate(&mut m, a, &shared);
+    let b_map = instantiate(&mut m, b, &shared);
+    let diffs: Vec<NodeId> = a
+        .outputs()
+        .iter()
+        .zip(b.outputs())
+        .map(|(&oa, &ob)| m.xor(a_map[oa.index()], b_map[ob.index()]))
+        .collect();
+    let out = m.or_many(&diffs);
+    m.set_outputs([out]);
+    m
+}
+
+/// Copies `source` into `target`, substituting `shared_inputs` for the
+/// source's primary inputs. Returns the node mapping.
+fn instantiate(target: &mut Circuit, source: &Circuit, shared_inputs: &[NodeId]) -> Vec<NodeId> {
+    let mut map: Vec<NodeId> = Vec::with_capacity(source.len());
+    let mut next_input = 0;
+    for gate in source.gates() {
+        let new_id = match *gate {
+            Gate::Input => {
+                let id = shared_inputs[next_input];
+                next_input += 1;
+                id
+            }
+            Gate::Const(v) => target.constant(v),
+            Gate::Not(x) => target.not_gate(map[x.index()]),
+            Gate::And(x, y) => target.and_gate(map[x.index()], map[y.index()]),
+            Gate::Or(x, y) => target.or(map[x.index()], map[y.index()]),
+            Gate::Xor(x, y) => target.xor(map[x.index()], map[y.index()]),
+            Gate::Nand(x, y) => target.nand(map[x.index()], map[y.index()]),
+            Gate::Nor(x, y) => target.nor(map[x.index()], map[y.index()]),
+            Gate::Xnor(x, y) => target.xnor(map[x.index()], map[y.index()]),
+            Gate::Mux { sel, hi, lo } => {
+                target.mux(map[sel.index()], map[hi.index()], map[lo.index()])
+            }
+        };
+        map.push(new_id);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+    use sat_solver::Solver;
+
+    fn xor_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.xor(a, b);
+        c.set_outputs([g]);
+        c
+    }
+
+    fn xor_via_andor() -> Circuit {
+        // a ⊕ b = (a ∧ ¬b) ∨ (¬a ∧ b)
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let na = c.not_gate(a);
+        let nb = c.not_gate(b);
+        let t1 = c.and_gate(a, nb);
+        let t2 = c.and_gate(na, b);
+        let g = c.or(t1, t2);
+        c.set_outputs([g]);
+        c
+    }
+
+    fn broken_xor() -> Circuit {
+        // like xor_via_andor but one AND is an OR: not equivalent
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let na = c.not_gate(a);
+        let nb = c.not_gate(b);
+        let t1 = c.or(a, nb);
+        let t2 = c.and_gate(na, b);
+        let g = c.or(t1, t2);
+        c.set_outputs([g]);
+        c
+    }
+
+    fn miter_unsat(a: &Circuit, b: &Circuit) -> bool {
+        let m = miter(a, b);
+        let mut enc = encode(&m);
+        enc.assert_node(m.outputs()[0], true);
+        Solver::from_cnf(&enc.cnf).solve().is_unsat()
+    }
+
+    #[test]
+    fn equivalent_circuits_give_unsat_miter() {
+        assert!(miter_unsat(&xor_circuit(), &xor_via_andor()));
+    }
+
+    #[test]
+    fn inequivalent_circuits_give_sat_miter_with_witness() {
+        let a = xor_circuit();
+        let b = broken_xor();
+        let m = miter(&a, &b);
+        let mut enc = encode(&m);
+        enc.assert_node(m.outputs()[0], true);
+        let mut s = Solver::from_cnf(&enc.cnf);
+        let r = s.solve();
+        let model = r.model().expect("must be satisfiable");
+        let ins = enc.input_values(&m, model);
+        // The witness must actually distinguish the circuits.
+        assert_ne!(a.evaluate(&ins), b.evaluate(&ins));
+    }
+
+    #[test]
+    fn multi_output_miter() {
+        // identity vs swapped outputs: inequivalent
+        let mut a = Circuit::new();
+        let (x, y) = (a.input(), a.input());
+        a.set_outputs([x, y]);
+        let mut b = Circuit::new();
+        let (x, y) = (b.input(), b.input());
+        b.set_outputs([y, x]);
+        assert!(!miter_unsat(&a, &b));
+        assert!(miter_unsat(&a, &a.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal input arity")]
+    fn arity_mismatch_rejected() {
+        let mut a = Circuit::new();
+        let x = a.input();
+        a.set_outputs([x]);
+        let mut b = Circuit::new();
+        let x = b.input();
+        let _ = b.input();
+        b.set_outputs([x]);
+        let _ = miter(&a, &b);
+    }
+}

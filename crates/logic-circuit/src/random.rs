@@ -1,0 +1,373 @@
+//! Random circuit synthesis and semantics-preserving rewriting.
+//!
+//! Together these produce realistic combinational-equivalence-checking
+//! workloads: generate a random circuit, rewrite it into a structurally
+//! different but functionally identical twin (or inject a fault), and miter
+//! the pair. This mimics the industrial verification CNFs that dominate SAT
+//! competition benchmarks.
+
+use crate::{Circuit, Gate, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomCircuitSpec {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of gates to synthesize on top of the inputs.
+    pub num_gates: usize,
+    /// Number of outputs (drawn from the last gates created).
+    pub num_outputs: usize,
+}
+
+impl Default for RandomCircuitSpec {
+    fn default() -> Self {
+        RandomCircuitSpec {
+            num_inputs: 8,
+            num_gates: 40,
+            num_outputs: 4,
+        }
+    }
+}
+
+/// Generates a random combinational circuit.
+///
+/// Gates prefer recent nodes as fan-in (locality bias), producing deep,
+/// narrow circuits similar to synthesized logic rather than shallow random
+/// DAGs.
+///
+/// # Panics
+///
+/// Panics if the spec has zero inputs, gates, or outputs.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::{random_circuit, RandomCircuitSpec};
+/// let c = random_circuit(RandomCircuitSpec::default(), 42);
+/// assert_eq!(c.inputs().len(), 8);
+/// assert_eq!(c.outputs().len(), 4);
+/// // deterministic in the seed
+/// assert_eq!(c, random_circuit(RandomCircuitSpec::default(), 42));
+/// ```
+pub fn random_circuit(spec: RandomCircuitSpec, seed: u64) -> Circuit {
+    assert!(spec.num_inputs > 0, "need at least one input");
+    assert!(spec.num_gates > 0, "need at least one gate");
+    assert!(spec.num_outputs > 0, "need at least one output");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::new();
+    let mut nodes: Vec<NodeId> = (0..spec.num_inputs).map(|_| c.input()).collect();
+
+    for _ in 0..spec.num_gates {
+        let pick = |rng: &mut SmallRng, nodes: &[NodeId]| -> NodeId {
+            // Locality bias: geometric-ish preference for recent nodes.
+            let n = nodes.len();
+            let back = rng.gen_range(0..n.min(1 + n / 2)) + rng.gen_range(0..n.div_ceil(2));
+            nodes[n - 1 - back.min(n - 1)]
+        };
+        let a = pick(&mut rng, &nodes);
+        let b = pick(&mut rng, &nodes);
+        let g = match rng.gen_range(0..8) {
+            0 => c.not_gate(a),
+            1 => c.and_gate(a, b),
+            2 => c.or(a, b),
+            3 => c.xor(a, b),
+            4 => c.nand(a, b),
+            5 => c.nor(a, b),
+            6 => c.xnor(a, b),
+            _ => {
+                let s = pick(&mut rng, &nodes);
+                c.mux(s, a, b)
+            }
+        };
+        nodes.push(g);
+    }
+    let outs: Vec<NodeId> = nodes[nodes.len() - spec.num_outputs.min(nodes.len())..].to_vec();
+    c.set_outputs(outs);
+    c
+}
+
+/// Rewrites `circuit` into a functionally equivalent, structurally different
+/// circuit by applying randomized local identities:
+///
+/// * De Morgan: `a ∧ b → ¬(¬a ∨ ¬b)`, `a ∨ b → ¬(¬a ∧ ¬b)`
+/// * XOR expansion: `a ⊕ b → (a ∧ ¬b) ∨ (¬a ∧ b)`
+/// * NAND/NOR/XNOR unfolding into a negated base gate
+/// * MUX expansion: `s ? h : l → (s ∧ h) ∨ (¬s ∧ l)`
+/// * operand swaps and occasional double negation
+///
+/// The probability `intensity ∈ [0, 1]` controls how often a rewrite fires
+/// at each gate; `0.0` yields a plain structural copy.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::{random_circuit, rewrite, RandomCircuitSpec};
+/// let c = random_circuit(RandomCircuitSpec::default(), 1);
+/// let r = rewrite(&c, 0.8, 99);
+/// // same interface, same function (checked exhaustively in tests),
+/// // different structure
+/// assert_eq!(r.inputs().len(), c.inputs().len());
+/// assert_ne!(r.gates().len(), c.gates().len());
+/// ```
+pub fn rewrite(circuit: &Circuit, intensity: f64, seed: u64) -> Circuit {
+    assert!((0.0..=1.0).contains(&intensity), "intensity must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Circuit::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(circuit.len());
+
+    for gate in circuit.gates() {
+        let fire = |rng: &mut SmallRng| rng.gen_bool(intensity);
+        let new_id = match *gate {
+            Gate::Input => out.input(),
+            Gate::Const(v) => out.constant(v),
+            Gate::Not(x) => {
+                let x = map[x.index()];
+                if fire(&mut rng) {
+                    // triple negation
+                    let n1 = out.not_gate(x);
+                    let n2 = out.not_gate(n1);
+                    out.not_gate(n2)
+                } else {
+                    out.not_gate(x)
+                }
+            }
+            Gate::And(x, y) => {
+                let (mut x, mut y) = (map[x.index()], map[y.index()]);
+                if rng.gen_bool(0.5) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                if fire(&mut rng) {
+                    let nx = out.not_gate(x);
+                    let ny = out.not_gate(y);
+                    let o = out.or(nx, ny);
+                    out.not_gate(o)
+                } else {
+                    out.and_gate(x, y)
+                }
+            }
+            Gate::Or(x, y) => {
+                let (mut x, mut y) = (map[x.index()], map[y.index()]);
+                if rng.gen_bool(0.5) {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                if fire(&mut rng) {
+                    let nx = out.not_gate(x);
+                    let ny = out.not_gate(y);
+                    let a = out.and_gate(nx, ny);
+                    out.not_gate(a)
+                } else {
+                    out.or(x, y)
+                }
+            }
+            Gate::Xor(x, y) => {
+                let (x, y) = (map[x.index()], map[y.index()]);
+                if fire(&mut rng) {
+                    let nx = out.not_gate(x);
+                    let ny = out.not_gate(y);
+                    let t1 = out.and_gate(x, ny);
+                    let t2 = out.and_gate(nx, y);
+                    out.or(t1, t2)
+                } else {
+                    out.xor(x, y)
+                }
+            }
+            Gate::Nand(x, y) => {
+                let (x, y) = (map[x.index()], map[y.index()]);
+                if fire(&mut rng) {
+                    let a = out.and_gate(x, y);
+                    out.not_gate(a)
+                } else {
+                    out.nand(x, y)
+                }
+            }
+            Gate::Nor(x, y) => {
+                let (x, y) = (map[x.index()], map[y.index()]);
+                if fire(&mut rng) {
+                    let o = out.or(x, y);
+                    out.not_gate(o)
+                } else {
+                    out.nor(x, y)
+                }
+            }
+            Gate::Xnor(x, y) => {
+                let (x, y) = (map[x.index()], map[y.index()]);
+                if fire(&mut rng) {
+                    let o = out.xor(x, y);
+                    out.not_gate(o)
+                } else {
+                    out.xnor(x, y)
+                }
+            }
+            Gate::Mux { sel, hi, lo } => {
+                let (s, h, l) = (map[sel.index()], map[hi.index()], map[lo.index()]);
+                if fire(&mut rng) {
+                    let ns = out.not_gate(s);
+                    let t1 = out.and_gate(s, h);
+                    let t2 = out.and_gate(ns, l);
+                    out.or(t1, t2)
+                } else {
+                    out.mux(s, h, l)
+                }
+            }
+        };
+        map.push(new_id);
+    }
+    out.set_outputs(circuit.outputs().iter().map(|o| map[o.index()]));
+    out
+}
+
+/// Injects a single fault into `circuit`: one randomly chosen two-input gate
+/// is replaced by a different gate kind. Returns the faulty circuit, or
+/// `None` if the circuit has no two-input gates to corrupt.
+///
+/// The result is *usually* inequivalent to the original (the fault may be
+/// masked by downstream logic — callers wanting a guaranteed-SAT miter
+/// should check).
+pub fn inject_fault(circuit: &Circuit, seed: u64) -> Option<Circuit> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Only gates in the transitive fan-in cone of an output can affect
+    // behaviour; restrict the victim to that cone.
+    let mut in_cone = vec![false; circuit.len()];
+    for &o in circuit.outputs() {
+        in_cone[o.index()] = true;
+    }
+    for (i, gate) in circuit.gates().iter().enumerate().rev() {
+        if in_cone[i] {
+            for dep in gate.fanin() {
+                in_cone[dep.index()] = true;
+            }
+        }
+    }
+    let candidates: Vec<usize> = circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|&(i, g)| {
+            in_cone[i]
+                && matches!(
+                    g,
+                    Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Nand(..) | Gate::Nor(..)
+                )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let &victim = candidates.get(rng.gen_range(0..candidates.len().max(1)))?;
+
+    let mut out = Circuit::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(circuit.len());
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let new_id = if i == victim {
+            let (a, b) = match *gate {
+                Gate::And(a, b)
+                | Gate::Or(a, b)
+                | Gate::Xor(a, b)
+                | Gate::Nand(a, b)
+                | Gate::Nor(a, b) => (map[a.index()], map[b.index()]),
+                _ => unreachable!("victim is a two-input gate"),
+            };
+            match *gate {
+                Gate::And(..) => out.or(a, b),
+                Gate::Or(..) => out.and_gate(a, b),
+                Gate::Xor(..) => out.xnor(a, b),
+                Gate::Nand(..) => out.nor(a, b),
+                _ => out.nand(a, b),
+            }
+        } else {
+            match *gate {
+                Gate::Input => out.input(),
+                Gate::Const(v) => out.constant(v),
+                Gate::Not(x) => out.not_gate(map[x.index()]),
+                Gate::And(x, y) => out.and_gate(map[x.index()], map[y.index()]),
+                Gate::Or(x, y) => out.or(map[x.index()], map[y.index()]),
+                Gate::Xor(x, y) => out.xor(map[x.index()], map[y.index()]),
+                Gate::Nand(x, y) => out.nand(map[x.index()], map[y.index()]),
+                Gate::Nor(x, y) => out.nor(map[x.index()], map[y.index()]),
+                Gate::Xnor(x, y) => out.xnor(map[x.index()], map[y.index()]),
+                Gate::Mux { sel, hi, lo } => {
+                    out.mux(map[sel.index()], map[hi.index()], map[lo.index()])
+                }
+            }
+        };
+        map.push(new_id);
+    }
+    out.set_outputs(circuit.outputs().iter().map(|o| map[o.index()]));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent_exhaustive(a: &Circuit, b: &Circuit) -> bool {
+        let n = a.inputs().len();
+        assert!(n <= 10);
+        (0..1u32 << n).all(|bits| {
+            let ins: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            a.evaluate(&ins) == b.evaluate(&ins)
+        })
+    }
+
+    #[test]
+    fn random_circuit_is_deterministic() {
+        let spec = RandomCircuitSpec {
+            num_inputs: 5,
+            num_gates: 20,
+            num_outputs: 2,
+        };
+        assert_eq!(random_circuit(spec, 3), random_circuit(spec, 3));
+        assert_ne!(random_circuit(spec, 3), random_circuit(spec, 4));
+    }
+
+    #[test]
+    fn rewrite_preserves_function() {
+        let spec = RandomCircuitSpec {
+            num_inputs: 6,
+            num_gates: 30,
+            num_outputs: 3,
+        };
+        for seed in 0..5 {
+            let c = random_circuit(spec, seed);
+            let r = rewrite(&c, 0.9, seed + 100);
+            assert!(
+                equivalent_exhaustive(&c, &r),
+                "rewrite changed function (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_zero_intensity_is_copy_function() {
+        let c = random_circuit(RandomCircuitSpec::default(), 7);
+        let r = rewrite(&c, 0.0, 0);
+        assert!(equivalent_exhaustive(&c, &r));
+    }
+
+    #[test]
+    fn fault_changes_function_usually() {
+        let spec = RandomCircuitSpec {
+            num_inputs: 6,
+            num_gates: 25,
+            num_outputs: 3,
+        };
+        let mut changed = 0;
+        for seed in 0..10 {
+            let c = random_circuit(spec, seed);
+            if let Some(faulty) = inject_fault(&c, seed * 7 + 1) {
+                if !equivalent_exhaustive(&c, &faulty) {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(changed >= 5, "faults should usually change behaviour");
+    }
+
+    #[test]
+    fn fault_on_gateless_circuit_is_none() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        c.set_outputs([x]);
+        assert!(inject_fault(&c, 0).is_none());
+    }
+}

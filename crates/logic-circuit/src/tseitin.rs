@@ -1,0 +1,207 @@
+//! Tseitin transformation: circuits to equisatisfiable CNF.
+
+use crate::{Circuit, Gate, NodeId};
+use cnf::{Cnf, Lit, Var};
+
+/// The result of Tseitin-encoding a circuit: the CNF plus the mapping from
+/// circuit nodes to CNF variables.
+#[derive(Clone, Debug)]
+pub struct Encoded {
+    /// The generated clauses.
+    pub cnf: Cnf,
+    /// `node_var[n]` is the CNF variable representing node `n`.
+    pub node_var: Vec<Var>,
+}
+
+impl Encoded {
+    /// The literal asserting that `node` carries `value`.
+    pub fn lit(&self, node: NodeId, value: bool) -> Lit {
+        self.node_var[node.index()].lit(!value)
+    }
+
+    /// Adds a unit clause constraining `node` to `value`.
+    pub fn assert_node(&mut self, node: NodeId, value: bool) {
+        let l = self.lit(node, value);
+        self.cnf.add_clause(cnf::Clause::from_lits(vec![l]));
+    }
+
+    /// Extracts the circuit-input values from a CNF model.
+    pub fn input_values(&self, circuit: &Circuit, model: &[bool]) -> Vec<bool> {
+        circuit
+            .inputs()
+            .iter()
+            .map(|&n| model[self.node_var[n.index()].index() as usize])
+            .collect()
+    }
+}
+
+/// Tseitin-encodes `circuit` into CNF.
+///
+/// Every node `n` gets a fresh variable `x_n`; each gate contributes the
+/// clauses asserting `x_n ↔ gate(fanin)`. The encoding is equisatisfiable
+/// and, because every gate is functionally constrained, every CNF model
+/// restricted to input variables reproduces the circuit's behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::{encode, Circuit};
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let g = c.and_gate(a, b);
+/// c.set_outputs([g]);
+/// let mut enc = encode(&c);
+/// enc.assert_node(g, true); // force the AND output high
+/// // the only model sets both inputs true
+/// # let f = enc.cnf.clone();
+/// assert_eq!(f.num_vars(), 3);
+/// ```
+pub fn encode(circuit: &Circuit) -> Encoded {
+    let mut cnf = Cnf::new(0);
+    let node_var: Vec<Var> = (0..circuit.len()).map(|_| cnf.new_var()).collect();
+    let lit = |n: NodeId, value: bool| node_var[n.index()].lit(!value);
+
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let y = NodeId::from_index(i);
+        match *gate {
+            Gate::Input => {}
+            Gate::Const(b) => {
+                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, b)]));
+            }
+            Gate::Not(a) => {
+                // y ↔ ¬a
+                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, true), lit(a, true)]));
+                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, false), lit(a, false)]));
+            }
+            Gate::And(a, b) => encode_and(&mut cnf, lit(y, true), lit(a, true), lit(b, true)),
+            Gate::Nand(a, b) => encode_and(&mut cnf, lit(y, false), lit(a, true), lit(b, true)),
+            Gate::Or(a, b) => {
+                // y ↔ a ∨ b  ≡  ¬y ↔ ¬a ∧ ¬b
+                encode_and(&mut cnf, lit(y, false), lit(a, false), lit(b, false))
+            }
+            Gate::Nor(a, b) => encode_and(&mut cnf, lit(y, true), lit(a, false), lit(b, false)),
+            Gate::Xor(a, b) => encode_xor(&mut cnf, lit(y, true), lit(a, true), lit(b, true)),
+            Gate::Xnor(a, b) => encode_xor(&mut cnf, lit(y, false), lit(a, true), lit(b, true)),
+            Gate::Mux { sel, hi, lo } => {
+                let (s, h, l, yy) = (lit(sel, true), lit(hi, true), lit(lo, true), lit(y, true));
+                // s → (y ↔ hi)
+                cnf.add_clause(cnf::Clause::from_lits(vec![!s, !h, yy]));
+                cnf.add_clause(cnf::Clause::from_lits(vec![!s, h, !yy]));
+                // ¬s → (y ↔ lo)
+                cnf.add_clause(cnf::Clause::from_lits(vec![s, !l, yy]));
+                cnf.add_clause(cnf::Clause::from_lits(vec![s, l, !yy]));
+            }
+        }
+    }
+    Encoded { cnf, node_var }
+}
+
+/// Clauses for `y ↔ a ∧ b`.
+fn encode_and(cnf: &mut Cnf, y: Lit, a: Lit, b: Lit) {
+    cnf.add_clause(cnf::Clause::from_lits(vec![!y, a]));
+    cnf.add_clause(cnf::Clause::from_lits(vec![!y, b]));
+    cnf.add_clause(cnf::Clause::from_lits(vec![y, !a, !b]));
+}
+
+/// Clauses for `y ↔ a ⊕ b`.
+fn encode_xor(cnf: &mut Cnf, y: Lit, a: Lit, b: Lit) {
+    cnf.add_clause(cnf::Clause::from_lits(vec![!y, a, b]));
+    cnf.add_clause(cnf::Clause::from_lits(vec![!y, !a, !b]));
+    cnf.add_clause(cnf::Clause::from_lits(vec![y, !a, b]));
+    cnf.add_clause(cnf::Clause::from_lits(vec![y, a, !b]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that the encoding's models match the circuit:
+    /// for every input combination, forcing inputs in the CNF yields a
+    /// formula whose models all agree with the circuit's node values.
+    fn check_encoding(circuit: &Circuit) {
+        let enc = encode(circuit);
+        let n_inputs = circuit.inputs().len();
+        assert!(n_inputs <= 8);
+        for bits in 0..1u32 << n_inputs {
+            let ins: Vec<bool> = (0..n_inputs).map(|i| bits >> i & 1 == 1).collect();
+            let node_values = circuit.evaluate_all(&ins);
+            // The assignment mapping each node var to its simulated value
+            // must satisfy the CNF.
+            let mut assignment = vec![false; enc.cnf.num_vars() as usize];
+            for (n, v) in enc.node_var.iter().zip(&node_values) {
+                assignment[n.index() as usize] = *v;
+            }
+            assert_eq!(
+                enc.cnf.eval(&assignment),
+                Some(true),
+                "simulation model must satisfy encoding (inputs {ins:?})"
+            );
+            // Flipping any single gate output must falsify the CNF
+            // (functional consistency).
+            for (i, gate) in circuit.gates().iter().enumerate() {
+                if matches!(gate, Gate::Input) {
+                    continue;
+                }
+                let var = enc.node_var[i].index() as usize;
+                assignment[var] = !assignment[var];
+                assert_eq!(
+                    enc.cnf.eval(&assignment),
+                    Some(false),
+                    "flipped gate {i} should violate encoding"
+                );
+                assignment[var] = !assignment[var];
+            }
+        }
+    }
+
+    #[test]
+    fn encode_every_gate_kind() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let s = c.input();
+        let n = c.not_gate(a);
+        let g1 = c.and_gate(a, b);
+        let g2 = c.or(n, b);
+        let g3 = c.xor(g1, g2);
+        let g4 = c.nand(g3, s);
+        let g5 = c.nor(g4, a);
+        let g6 = c.xnor(g5, b);
+        let g7 = c.mux(s, g6, g1);
+        let t = c.constant(true);
+        let f = c.constant(false);
+        let g8 = c.and_gate(t, f);
+        c.set_outputs([g7, g8]);
+        check_encoding(&c);
+    }
+
+    #[test]
+    fn assert_node_forces_inputs() {
+        use sat_solver::Solver;
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.and_gate(a, b);
+        c.set_outputs([g]);
+        let mut enc = encode(&c);
+        enc.assert_node(g, true);
+        let mut s = Solver::from_cnf(&enc.cnf);
+        let r = s.solve();
+        let model = r.model().expect("satisfiable");
+        assert_eq!(enc.input_values(&c, model), vec![true, true]);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        use sat_solver::Solver;
+        let mut c = Circuit::new();
+        let a = c.input();
+        let n = c.not_gate(a);
+        let g = c.and_gate(a, n);
+        c.set_outputs([g]);
+        let mut enc = encode(&c);
+        enc.assert_node(g, true);
+        assert!(Solver::from_cnf(&enc.cnf).solve().is_unsat());
+    }
+}

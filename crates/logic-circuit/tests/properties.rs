@@ -1,0 +1,86 @@
+//! Property tests for circuits, rewriting, Tseitin encoding, and miters.
+
+use logic_circuit::{
+    encode, inject_fault, miter, random_circuit, rewrite, Circuit, RandomCircuitSpec,
+};
+use proptest::prelude::*;
+use sat_solver::Solver;
+
+fn arb_spec() -> impl Strategy<Value = RandomCircuitSpec> {
+    (2usize..7, 3usize..40, 1usize..4).prop_map(|(num_inputs, num_gates, num_outputs)| {
+        RandomCircuitSpec {
+            num_inputs,
+            num_gates,
+            num_outputs,
+        }
+    })
+}
+
+fn eval_all_inputs(c: &Circuit) -> Vec<Vec<bool>> {
+    let n = c.inputs().len();
+    (0..1u32 << n)
+        .map(|bits| {
+            let ins: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            c.evaluate(&ins)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rewrite_preserves_truth_tables(spec in arb_spec(), seed in 0u64..1000, intensity in 0.0f64..1.0) {
+        let original = random_circuit(spec, seed);
+        let rewritten = rewrite(&original, intensity, seed ^ 0xABCD);
+        prop_assert_eq!(eval_all_inputs(&original), eval_all_inputs(&rewritten));
+    }
+
+    #[test]
+    fn tseitin_models_project_to_circuit_inputs(spec in arb_spec(), seed in 0u64..1000) {
+        // Assert the first output high; if SAT, the decoded inputs must
+        // actually produce a high first output in simulation.
+        let c = random_circuit(spec, seed);
+        let mut enc = encode(&c);
+        enc.assert_node(c.outputs()[0], true);
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        match solver.solve() {
+            sat_solver::SolveResult::Sat(model) => {
+                let ins = enc.input_values(&c, &model);
+                prop_assert!(c.evaluate(&ins)[0], "decoded witness must drive output high");
+            }
+            sat_solver::SolveResult::Unsat => {
+                // then no input drives the output high
+                prop_assert!(eval_all_inputs(&c).iter().all(|outs| !outs[0]));
+            }
+            sat_solver::SolveResult::Unknown => prop_assert!(false, "unbudgeted solve"),
+        }
+    }
+
+    #[test]
+    fn miter_unsat_iff_equivalent(spec in arb_spec(), seed in 0u64..500) {
+        let a = random_circuit(spec, seed);
+        // 50/50: an equivalent rewrite or a faulty copy
+        let b = if seed % 2 == 0 {
+            rewrite(&a, 0.7, seed + 1)
+        } else {
+            inject_fault(&a, seed + 2).unwrap_or_else(|| rewrite(&a, 0.5, seed + 3))
+        };
+        let m = miter(&a, &b);
+        let mut enc = encode(&m);
+        enc.assert_node(m.outputs()[0], true);
+        let result = Solver::from_cnf(&enc.cnf).solve();
+        let equivalent = eval_all_inputs(&a) == eval_all_inputs(&b);
+        prop_assert_eq!(result.is_unsat(), equivalent);
+    }
+
+    #[test]
+    fn fault_injection_keeps_interface(spec in arb_spec(), seed in 0u64..500) {
+        let c = random_circuit(spec, seed);
+        if let Some(faulty) = inject_fault(&c, seed) {
+            prop_assert_eq!(faulty.inputs().len(), c.inputs().len());
+            prop_assert_eq!(faulty.outputs().len(), c.outputs().len());
+            prop_assert_eq!(faulty.len(), c.len(), "fault is a gate substitution");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Plain-text (de)serialization of parameter stores.
+//!
+//! The format is a self-contained line-oriented text file:
+//!
+//! ```text
+//! neuro-params v1
+//! tensors <count>
+//! tensor <rows> <cols>
+//! <row of floats>
+//! …
+//! ```
+//!
+//! Floats are written with full round-trip precision. No external
+//! serialization crates are required.
+
+use crate::{Matrix, ParamStore};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// An error produced while loading parameters.
+#[derive(Debug)]
+pub enum LoadParamsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid content.
+    Format(String),
+}
+
+impl fmt::Display for LoadParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadParamsError::Io(e) => write!(f, "i/o error loading parameters: {e}"),
+            LoadParamsError::Format(m) => write!(f, "invalid parameter file: {m}"),
+        }
+    }
+}
+
+impl Error for LoadParamsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadParamsError::Io(e) => Some(e),
+            LoadParamsError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadParamsError {
+    fn from(e: io::Error) -> Self {
+        LoadParamsError::Io(e)
+    }
+}
+
+fn format_err(m: impl Into<String>) -> LoadParamsError {
+    LoadParamsError::Format(m.into())
+}
+
+/// Writes every parameter value of `store` to `writer`.
+///
+/// Pass `&mut writer` if you need the writer back afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use neuro::{load_params, save_params, Matrix, ParamStore};
+/// let mut store = ParamStore::new();
+/// let id = store.add(Matrix::from_rows(&[&[1.5, -2.0]]));
+/// let mut buf = Vec::new();
+/// save_params(&mut buf, &store)?;
+/// let mut restored = ParamStore::new();
+/// restored.add(Matrix::zeros(1, 2));
+/// load_params(buf.as_slice(), &mut restored)?;
+/// assert_eq!(restored.value(id), store.value(id));
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_params<W: Write>(mut writer: W, store: &ParamStore) -> io::Result<()> {
+    writeln!(writer, "neuro-params v1")?;
+    writeln!(writer, "tensors {}", store.len())?;
+    for (_, m) in store.iter() {
+        writeln!(writer, "tensor {} {}", m.rows(), m.cols())?;
+        for r in 0..m.rows() {
+            let row: Vec<String> = m.row(r).iter().map(|x| format!("{x:?}")).collect();
+            writeln!(writer, "{}", row.join(" "))?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameter values from `reader` into `store`, which must already
+/// contain the same number of tensors with the same shapes (i.e. the model
+/// must be constructed first with the same architecture).
+///
+/// Pass `&mut reader` if you need the reader back afterwards.
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure, a bad header, a count or
+/// shape mismatch, or unparsable floats.
+pub fn load_params<R: BufRead>(reader: R, store: &mut ParamStore) -> Result<(), LoadParamsError> {
+    let mut lines = reader.lines();
+    let mut next = || -> Result<String, LoadParamsError> {
+        lines
+            .next()
+            .ok_or_else(|| format_err("unexpected end of file"))?
+            .map_err(LoadParamsError::from)
+    };
+    let header = next()?;
+    if header.trim() != "neuro-params v1" {
+        return Err(format_err(format!("bad header `{header}`")));
+    }
+    let count_line = next()?;
+    let count: usize = count_line
+        .strip_prefix("tensors ")
+        .and_then(|t| t.trim().parse().ok())
+        .ok_or_else(|| format_err("missing tensor count"))?;
+    if count != store.len() {
+        return Err(format_err(format!(
+            "file has {count} tensors, model expects {}",
+            store.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(count);
+    for t in 0..count {
+        let shape_line = next()?;
+        let mut parts = shape_line.split_whitespace();
+        if parts.next() != Some("tensor") {
+            return Err(format_err(format!("tensor {t}: missing `tensor` header")));
+        }
+        let rows: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| format_err(format!("tensor {t}: bad row count")))?;
+        let cols: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| format_err(format!("tensor {t}: bad column count")))?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row_line = next()?;
+            let row: Result<Vec<f32>, _> = row_line
+                .split_whitespace()
+                .map(|x| x.parse::<f32>())
+                .collect();
+            let row = row.map_err(|_| format_err(format!("tensor {t}, row {r}: bad float")))?;
+            if row.len() != cols {
+                return Err(format_err(format!(
+                    "tensor {t}, row {r}: expected {cols} values, found {}",
+                    row.len()
+                )));
+            }
+            data.extend(row);
+        }
+        values.push(Matrix::from_vec(rows, cols, data));
+    }
+    // Shape-check before committing.
+    for ((_, current), new) in store.iter().zip(&values) {
+        if current.shape() != new.shape() {
+            return Err(format_err(format!(
+                "shape mismatch: model {:?} vs file {:?}",
+                current.shape(),
+                new.shape()
+            )));
+        }
+    }
+    store.load_values(values);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add(Matrix::from_rows(&[&[1.0, -2.5], &[0.125, 3.0e-7]]));
+        s.add(Matrix::from_rows(&[&[42.0]]));
+        s
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let mut restored = sample_store();
+        // scrub values to prove loading restores them
+        for i in 0..restored.len() {
+            let id = restored.iter().nth(i).unwrap().0;
+            let (r, c) = restored.value(id).shape();
+            *restored.value_mut(id) = Matrix::zeros(r, c);
+        }
+        load_params(buf.as_slice(), &mut restored).unwrap();
+        for ((_, a), (_, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let mut store = sample_store();
+        let err = load_params("nonsense\n".as_bytes(), &mut store).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let mut other = ParamStore::new();
+        other.add(Matrix::zeros(1, 1));
+        assert!(load_params(buf.as_slice(), &mut other).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let mut buf = Vec::new();
+        save_params(&mut buf, &sample_store()).unwrap();
+        let mut other = ParamStore::new();
+        other.add(Matrix::zeros(2, 2));
+        other.add(Matrix::zeros(1, 2)); // wrong second shape
+        assert!(load_params(buf.as_slice(), &mut other).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let truncated = &buf[..buf.len() / 2];
+        let mut restored = sample_store();
+        assert!(load_params(truncated, &mut restored).is_err());
+    }
+}

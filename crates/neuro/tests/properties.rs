@@ -1,0 +1,156 @@
+//! Property tests for the autodiff engine and the paper's layers.
+
+use neuro::{init_rng, LinearAttention, Matrix, ParamStore, Session, Tape};
+use proptest::prelude::*;
+use rand::Rng;
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// d(sum(a ⊙ b))/da == b for arbitrary shapes.
+    #[test]
+    fn mul_gradient_is_other_operand(a in arb_matrix(5, 5)) {
+        let (r, c) = a.shape();
+        let b = a.map(|x| x * 0.5 + 1.0);
+        let mut t = Tape::new();
+        let na = t.leaf(a);
+        let nb = t.leaf(b.clone());
+        let prod = t.mul(na, nb);
+        let loss = t.sum_all(prod);
+        let g = t.backward(loss);
+        prop_assert_eq!(g.get(na, &t), b);
+        let _ = (r, c);
+    }
+
+    /// matmul gradients have the right shapes and satisfy the chain rule
+    /// against a finite-difference probe of one random element.
+    #[test]
+    fn matmul_gradient_finite_difference(
+        a in arb_matrix(4, 3),
+        seed in 0u64..100,
+    ) {
+        let mut rng = init_rng(seed);
+        let b = Matrix::from_vec(
+            a.cols(), 2,
+            (0..a.cols() * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let loss_of = |a: &Matrix, b: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let na = t.leaf(a.clone());
+            let nb = t.leaf(b.clone());
+            let y = t.matmul(na, nb);
+            let sq = t.mul(y, y);
+            let l = t.sum_all(sq);
+            t.value(l).get(0, 0)
+        };
+        let mut t = Tape::new();
+        let na = t.leaf(a.clone());
+        let nb = t.leaf(b.clone());
+        let y = t.matmul(na, nb);
+        let sq = t.mul(y, y);
+        let l = t.sum_all(sq);
+        let g = t.backward(l);
+        // probe one element of a
+        let idx = (seed as usize) % a.as_slice().len();
+        let eps = 1e-2f32;
+        let mut ap = a.clone();
+        ap.as_mut_slice()[idx] += eps;
+        let mut am = a.clone();
+        am.as_mut_slice()[idx] -= eps;
+        let numeric = (loss_of(&ap, &b) - loss_of(&am, &b)) / (2.0 * eps);
+        let analytic = g.get(na, &t).as_slice()[idx];
+        prop_assert!(
+            (numeric - analytic).abs() <= 0.05 * (1.0 + numeric.abs()),
+            "numeric {numeric} analytic {analytic}"
+        );
+    }
+
+    /// Linear attention and the quadratic reference agree on arbitrary
+    /// feature matrices (the core algebraic identity of Equation 9).
+    #[test]
+    fn attention_linear_equals_quadratic(z in arb_matrix(12, 6), seed in 0u64..20) {
+        let d = z.cols();
+        let mut store = ParamStore::new();
+        let mut rng = init_rng(seed);
+        let attn = LinearAttention::new(&mut store, d, &mut rng);
+        let mut t = Tape::new();
+        let mut sess = Session::new(&store);
+        let nz = t.leaf(z);
+        let fast = attn.forward(&mut t, &mut sess, &store, nz);
+        let slow = attn.forward_quadratic(&mut t, &mut sess, &store, nz);
+        for (a, b) in t.value(fast).as_slice().iter().zip(t.value(slow).as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// Softmax-free attention is permutation-equivariant: permuting input
+    /// rows permutes output rows identically.
+    #[test]
+    fn attention_is_permutation_equivariant(z in arb_matrix(8, 4), seed in 0u64..20) {
+        let d = z.cols();
+        let n = z.rows();
+        let mut store = ParamStore::new();
+        let mut rng = init_rng(seed);
+        let attn = LinearAttention::new(&mut store, d, &mut rng);
+        let run = |m: Matrix| -> Matrix {
+            let mut t = Tape::new();
+            let mut sess = Session::new(&store);
+            let nz = t.leaf(m);
+            let out = attn.forward(&mut t, &mut sess, &store, nz);
+            t.value(out).clone()
+        };
+        let base = run(z.clone());
+        // rotate rows by one
+        let mut rotated = Matrix::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                rotated.set(r, c, z.get((r + 1) % n, c));
+            }
+        }
+        let rotated_out = run(rotated);
+        for r in 0..n {
+            for c in 0..d {
+                let a = base.get((r + 1) % n, c);
+                let b = rotated_out.get(r, c);
+                prop_assert!((a - b).abs() < 1e-4, "row {r} col {c}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// relu/sigmoid/tanh outputs stay in their ranges and gradients are
+    /// finite for arbitrary inputs.
+    #[test]
+    fn nonlinearities_are_well_behaved(a in arb_matrix(4, 6)) {
+        let mut t = Tape::new();
+        let na = t.leaf(a);
+        let r = t.relu(na);
+        let s = t.sigmoid(r);
+        let h = t.tanh(s);
+        let l0 = t.mean_rows(h);
+        let l = t.sum_all(l0);
+        prop_assert!(t.value(r).as_slice().iter().all(|&x| x >= 0.0));
+        prop_assert!(t.value(s).as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!(t.value(h).as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        let g = t.backward(l);
+        prop_assert!(g.get(na, &t).as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    /// BCE-with-logits is non-negative and zero only in the saturated
+    /// correct-label limit.
+    #[test]
+    fn bce_is_nonnegative(z in -10.0f32..10.0, label in 0u8..=1) {
+        let mut t = Tape::new();
+        let nz = t.leaf(Matrix::from_vec(1, 1, vec![z]));
+        let l = t.bce_with_logits(nz, label as f32);
+        let v = t.value(l).get(0, 0);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v.is_finite());
+    }
+}

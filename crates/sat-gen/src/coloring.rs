@@ -1,0 +1,180 @@
+//! Graph-colouring CNF encodings.
+
+use cnf::{Clause, Cnf, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph given by an edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices, named `0..num_vertices`.
+    pub num_vertices: u32,
+    /// Undirected edges as vertex pairs.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Generates a random graph with `num_edges` distinct edges
+    /// (Erdős–Rényi G(n, m)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_edges` exceeds the number of possible edges or
+    /// `num_vertices < 2`.
+    pub fn random(num_vertices: u32, num_edges: usize, seed: u64) -> Self {
+        assert!(num_vertices >= 2, "need at least two vertices");
+        let max_edges = num_vertices as usize * (num_vertices as usize - 1) / 2;
+        assert!(num_edges <= max_edges, "too many edges requested");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = Vec::with_capacity(num_edges);
+        while edges.len() < num_edges {
+            let a = rng.gen_range(0..num_vertices);
+            let b = rng.gen_range(0..num_vertices);
+            if a == b {
+                continue;
+            }
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// A cycle graph `v0 - v1 - … - v(n-1) - v0`.
+    pub fn cycle(num_vertices: u32) -> Self {
+        assert!(num_vertices >= 3, "cycles need at least three vertices");
+        Graph {
+            num_vertices,
+            edges: (0..num_vertices)
+                .map(|v| (v, (v + 1) % num_vertices))
+                .collect(),
+        }
+    }
+
+    /// The complete graph on `num_vertices` vertices.
+    pub fn complete(num_vertices: u32) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..num_vertices {
+            for b in a + 1..num_vertices {
+                edges.push((a, b));
+            }
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+}
+
+/// Encodes "is `graph` properly `colors`-colourable?" as CNF.
+///
+/// Variable `v * colors + c` means "vertex `v` takes colour `c`". Clauses:
+/// each vertex takes at least one colour, no vertex takes two colours, and
+/// adjacent vertices differ.
+///
+/// # Panics
+///
+/// Panics if `colors == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::{coloring_cnf, Graph};
+/// use sat_solver::Solver;
+/// // An odd cycle is not 2-colourable but is 3-colourable.
+/// let c5 = Graph::cycle(5);
+/// assert!(Solver::from_cnf(&coloring_cnf(&c5, 2)).solve().is_unsat());
+/// assert!(Solver::from_cnf(&coloring_cnf(&c5, 3)).solve().is_sat());
+/// ```
+pub fn coloring_cnf(graph: &Graph, colors: u32) -> Cnf {
+    assert!(colors > 0, "need at least one colour");
+    let var = |v: u32, c: u32| Var::new(v * colors + c);
+    let mut f = Cnf::new(graph.num_vertices * colors);
+    for v in 0..graph.num_vertices {
+        f.add_clause((0..colors).map(|c| var(v, c).positive()).collect());
+        for c1 in 0..colors {
+            for c2 in c1 + 1..colors {
+                f.add_clause(Clause::from_lits(vec![
+                    var(v, c1).negative(),
+                    var(v, c2).negative(),
+                ]));
+            }
+        }
+    }
+    for &(a, b) in &graph.edges {
+        for c in 0..colors {
+            f.add_clause(Clause::from_lits(vec![
+                var(a, c).negative(),
+                var(b, c).negative(),
+            ]));
+        }
+    }
+    f
+}
+
+/// Decodes a CNF model into a colour per vertex.
+///
+/// # Panics
+///
+/// Panics if the model assigns a vertex no colour (which cannot happen for
+/// models of [`coloring_cnf`] output).
+pub fn decode_coloring(graph: &Graph, colors: u32, model: &[bool]) -> Vec<u32> {
+    (0..graph.num_vertices)
+        .map(|v| {
+            (0..colors)
+                .find(|&c| model[(v * colors + c) as usize])
+                .expect("model must assign every vertex a colour")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_solver::Solver;
+
+    #[test]
+    fn complete_graph_needs_n_colors() {
+        let k4 = Graph::complete(4);
+        assert!(Solver::from_cnf(&coloring_cnf(&k4, 3)).solve().is_unsat());
+        assert!(Solver::from_cnf(&coloring_cnf(&k4, 4)).solve().is_sat());
+    }
+
+    #[test]
+    fn even_cycle_is_2_colorable() {
+        let c6 = Graph::cycle(6);
+        let f = coloring_cnf(&c6, 2);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        let coloring = decode_coloring(&c6, 2, r.model().expect("sat"));
+        for &(a, b) in &c6.edges {
+            assert_ne!(coloring[a as usize], coloring[b as usize]);
+        }
+    }
+
+    #[test]
+    fn random_graph_deterministic() {
+        let a = Graph::random(10, 20, 3);
+        let b = Graph::random(10, 20, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.edges.len(), 20);
+        assert!(a.edges.iter().all(|&(x, y)| x < y && y < 10));
+    }
+
+    #[test]
+    fn decoded_coloring_is_proper() {
+        let g = Graph::random(12, 25, 9);
+        let f = coloring_cnf(&g, 4);
+        let mut s = Solver::from_cnf(&f);
+        if let Some(model) = s.solve().model() {
+            let coloring = decode_coloring(&g, 4, model);
+            for &(a, b) in &g.edges {
+                assert_ne!(coloring[a as usize], coloring[b as usize]);
+            }
+        }
+    }
+}

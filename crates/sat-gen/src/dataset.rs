@@ -1,0 +1,366 @@
+//! Dataset assembly: batches of mixed-family instances mirroring the
+//! paper's Table 1 (per-year SAT-competition batches).
+//!
+//! The paper trains on the 2016–2021 main tracks and tests on 2022. We
+//! reproduce the *structure* — six training batches plus one held-out test
+//! batch — over synthetic families spanning the random↔industrial axis
+//! (see DESIGN.md §2 for the substitution argument).
+
+use crate::{
+    coloring_cnf, equivalence_miter_cnf, fault_miter_cnf, phase_transition_3sat, pigeonhole,
+    tseitin_expander_unsat, Graph,
+};
+use cnf::Cnf;
+use logic_circuit::RandomCircuitSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The synthetic instance families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Random 3-SAT at the phase transition.
+    RandomKSat,
+    /// Tseitin expander formulas (XOR systems on random 4-regular
+    /// multigraphs, UNSAT and provably hard for resolution).
+    XorSat,
+    /// Pigeonhole principle (UNSAT).
+    Pigeonhole,
+    /// Random-graph 3-colouring.
+    Coloring,
+    /// Circuit equivalence miters (UNSAT, industrial-style).
+    CircuitEquiv,
+    /// Circuit fault miters (usually SAT, industrial-style).
+    CircuitFault,
+    /// Loaded from an external DIMACS file (see [`load_dimacs_dir`]).
+    External,
+}
+
+impl Family {
+    /// All families, in generation order.
+    pub const ALL: [Family; 6] = [
+        Family::RandomKSat,
+        Family::XorSat,
+        Family::Pigeonhole,
+        Family::Coloring,
+        Family::CircuitEquiv,
+        Family::CircuitFault,
+    ];
+
+    /// The batch composition cycle. Families where the two deletion
+    /// policies genuinely diverge (random 3-SAT, Tseitin expanders,
+    /// pigeonhole) are over-represented so labels are not degenerate —
+    /// mirroring how competition main tracks over-represent hard
+    /// search-bound instances.
+    pub const MIX: [Family; 12] = [
+        Family::RandomKSat,
+        Family::XorSat,
+        Family::Pigeonhole,
+        Family::Coloring,
+        Family::RandomKSat,
+        Family::XorSat,
+        Family::CircuitEquiv,
+        Family::Pigeonhole,
+        Family::RandomKSat,
+        Family::XorSat,
+        Family::CircuitFault,
+        Family::XorSat,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Family::RandomKSat => "random-3sat",
+            Family::XorSat => "xorsat",
+            Family::Pigeonhole => "pigeonhole",
+            Family::Coloring => "coloring",
+            Family::CircuitEquiv => "circuit-equiv",
+            Family::CircuitFault => "circuit-fault",
+            Family::External => "external",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One benchmark instance: a formula plus provenance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Unique name within its batch, e.g. `2022/random-3sat-04`.
+    pub name: String,
+    /// Generating family.
+    pub family: Family,
+    /// The formula.
+    pub cnf: Cnf,
+}
+
+/// A named batch of instances (one "competition year").
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch label, e.g. `"2016"`.
+    pub name: String,
+    /// The instances.
+    pub instances: Vec<Instance>,
+}
+
+/// Summary statistics of a batch — one row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Number of CNFs in the batch.
+    pub num_cnfs: usize,
+    /// Mean variable count.
+    pub mean_vars: f64,
+    /// Mean clause count.
+    pub mean_clauses: f64,
+}
+
+impl Batch {
+    /// Computes the batch's Table 1 row.
+    pub fn stats(&self) -> BatchStats {
+        let n = self.instances.len().max(1);
+        BatchStats {
+            num_cnfs: self.instances.len(),
+            mean_vars: self
+                .instances
+                .iter()
+                .map(|i| i.cnf.num_vars() as f64)
+                .sum::<f64>()
+                / n as f64,
+            mean_clauses: self
+                .instances
+                .iter()
+                .map(|i| i.cnf.num_clauses() as f64)
+                .sum::<f64>()
+                / n as f64,
+        }
+    }
+}
+
+/// Sizing knobs for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Instances per batch (the paper's batches hold 74–148).
+    pub instances_per_batch: usize,
+    /// Global size multiplier: `1.0` gives instances that label in well
+    /// under a second each; larger values grow variable counts linearly.
+    pub scale: f64,
+    /// Base RNG seed; batches derive their own sub-seeds.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            instances_per_batch: 24,
+            scale: 1.0,
+            seed: 2024,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A tiny configuration for unit tests (fast to generate and label).
+    pub fn tiny() -> Self {
+        DatasetConfig {
+            instances_per_batch: 6,
+            scale: 0.5,
+            seed: 7,
+        }
+    }
+}
+
+fn scaled(base: f64, scale: f64, min: u32) -> u32 {
+    ((base * scale).round() as u32).max(min)
+}
+
+/// Generates one instance of `family` with sizes jittered by `rng`.
+pub fn generate_instance(
+    family: Family,
+    config: &DatasetConfig,
+    index: usize,
+    rng: &mut SmallRng,
+) -> Instance {
+    let scale = config.scale;
+    let seed = rng.gen::<u64>();
+    let cnf = match family {
+        Family::RandomKSat => {
+            let n = scaled(rng.gen_range(120.0..180.0), scale, 20);
+            phase_transition_3sat(n, seed)
+        }
+        Family::XorSat => {
+            let v = scaled(rng.gen_range(12.0..24.0), scale.sqrt(), 5);
+            tseitin_expander_unsat(v, seed)
+        }
+        Family::Pigeonhole => {
+            // Capped at 8 holes: PHP(10, 9) already needs minutes of
+            // exponential resolution and would dominate labelling time.
+            let holes = scaled(rng.gen_range(6.0..8.4), scale.sqrt(), 4).min(8);
+            pigeonhole(holes + 1, holes)
+        }
+        Family::Coloring => {
+            let v = scaled(rng.gen_range(40.0..70.0), scale, 8);
+            let e = (v as f64 * rng.gen_range(2.2..2.5)).round() as usize;
+            coloring_cnf(&Graph::random(v, e, seed), 3)
+        }
+        Family::CircuitEquiv => {
+            let spec = RandomCircuitSpec {
+                num_inputs: scaled(rng.gen_range(8.0..12.0), scale.sqrt(), 4) as usize,
+                num_gates: scaled(rng.gen_range(250.0..450.0), scale, 10) as usize,
+                num_outputs: 3,
+            };
+            equivalence_miter_cnf(spec, seed)
+        }
+        Family::CircuitFault => {
+            let spec = RandomCircuitSpec {
+                num_inputs: scaled(rng.gen_range(8.0..12.0), scale.sqrt(), 4) as usize,
+                num_gates: scaled(rng.gen_range(250.0..450.0), scale, 10) as usize,
+                num_outputs: 3,
+            };
+            fault_miter_cnf(spec, seed)
+        }
+        Family::External => {
+            panic!("external instances are loaded with `load_dimacs_dir`, not generated")
+        }
+    };
+    Instance {
+        name: format!("{family}-{index:03}"),
+        family,
+        cnf,
+    }
+}
+
+/// Generates one named batch with a round-robin family mix.
+pub fn competition_batch(name: &str, config: &DatasetConfig, batch_seed: u64) -> Batch {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(batch_seed));
+    let instances = (0..config.instances_per_batch)
+        .map(|i| {
+            let family = Family::MIX[i % Family::MIX.len()];
+            let mut inst = generate_instance(family, config, i, &mut rng);
+            inst.name = format!("{name}/{}", inst.name);
+            inst
+        })
+        .collect();
+    Batch {
+        name: name.to_string(),
+        instances,
+    }
+}
+
+/// Loads every `.cnf`/`.dimacs` file in a directory as a [`Batch`] —
+/// the bridge to real SAT-competition benchmarks. Files are sorted by
+/// name for reproducibility.
+///
+/// # Errors
+///
+/// Returns an error when the directory cannot be read or a file fails to
+/// parse.
+///
+/// # Examples
+///
+/// ```no_run
+/// let batch = sat_gen::load_dimacs_dir("benchmarks/2022")?;
+/// println!("{} instances", batch.instances.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn load_dimacs_dir(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Batch, Box<dyn std::error::Error>> {
+    let path = path.as_ref();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "external".to_string());
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("cnf") | Some("dimacs")
+            )
+        })
+        .collect();
+    files.sort();
+    let mut instances = Vec::with_capacity(files.len());
+    for file in files {
+        let reader = std::io::BufReader::new(std::fs::File::open(&file)?);
+        let cnf = cnf::parse_dimacs(reader)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        instances.push(Instance {
+            name: format!("{name}/{}", file.file_stem().unwrap_or_default().to_string_lossy()),
+            family: Family::External,
+            cnf,
+        });
+    }
+    Ok(Batch { name, instances })
+}
+
+/// The six training batches ("2016"–"2021"), mirroring Table 1.
+pub fn training_batches(config: &DatasetConfig) -> Vec<Batch> {
+    (2016..=2021)
+        .map(|year| competition_batch(&year.to_string(), config, year))
+        .collect()
+}
+
+/// The held-out test batch ("2022").
+pub fn test_batch(config: &DatasetConfig) -> Batch {
+    competition_batch("2022", config, 2022)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_has_requested_size_and_mix() {
+        let config = DatasetConfig::tiny();
+        let b = competition_batch("x", &config, 1);
+        assert_eq!(b.instances.len(), 6);
+        // the first six MIX entries, in order
+        for (inst, fam) in b.instances.iter().zip(Family::MIX) {
+            assert_eq!(inst.family, fam);
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_distinct() {
+        let config = DatasetConfig::tiny();
+        let a1 = competition_batch("a", &config, 1);
+        let a2 = competition_batch("a", &config, 1);
+        let b = competition_batch("b", &config, 2);
+        for (x, y) in a1.instances.iter().zip(&a2.instances) {
+            assert_eq!(x.cnf, y.cnf);
+        }
+        assert!(a1
+            .instances
+            .iter()
+            .zip(&b.instances)
+            .any(|(x, y)| x.cnf != y.cnf));
+    }
+
+    #[test]
+    fn training_and_test_shape() {
+        let config = DatasetConfig::tiny();
+        let train = training_batches(&config);
+        assert_eq!(train.len(), 6);
+        assert_eq!(train[0].name, "2016");
+        let test = test_batch(&config);
+        assert_eq!(test.name, "2022");
+        assert_eq!(test.instances.len(), 6);
+    }
+
+    #[test]
+    fn stats_are_positive() {
+        let config = DatasetConfig::tiny();
+        let s = test_batch(&config).stats();
+        assert_eq!(s.num_cnfs, 6);
+        assert!(s.mean_vars > 0.0);
+        assert!(s.mean_clauses > s.mean_vars, "CNFs should have more clauses than vars");
+    }
+
+    #[test]
+    fn instance_names_carry_batch_prefix() {
+        let config = DatasetConfig::tiny();
+        let b = competition_batch("2020", &config, 9);
+        assert!(b.instances.iter().all(|i| i.name.starts_with("2020/")));
+    }
+}

@@ -1,0 +1,176 @@
+//! Uniform random k-SAT generation.
+
+use cnf::{Clause, Cnf, Lit, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random k-SAT formula: `num_clauses` clauses, each
+/// with `k` distinct variables and independent random signs.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::random_ksat;
+/// let f = random_ksat(50, 210, 3, 1);
+/// assert_eq!(f.num_vars(), 50);
+/// assert_eq!(f.num_clauses(), 210);
+/// assert!(f.clauses().iter().all(|c| c.len() == 3));
+/// ```
+pub fn random_ksat(num_vars: u32, num_clauses: usize, k: usize, seed: u64) -> Cnf {
+    assert!(k >= 1, "clause width must be positive");
+    assert!(k as u32 <= num_vars, "clause width exceeds variable count");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut f = Cnf::new(num_vars);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause: Clause = vars
+            .into_iter()
+            .map(|v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        f.add_clause(clause);
+    }
+    f
+}
+
+/// The clause/variable ratio of the (empirical) random 3-SAT phase
+/// transition, where instances are hardest on average.
+pub const PHASE_TRANSITION_RATIO_3SAT: f64 = 4.26;
+
+/// Generates random 3-SAT at the satisfiability phase transition
+/// (clause/variable ratio ≈ 4.26), the classic hard random distribution.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::phase_transition_3sat;
+/// let f = phase_transition_3sat(100, 7);
+/// assert_eq!(f.num_clauses(), 426);
+/// ```
+pub fn phase_transition_3sat(num_vars: u32, seed: u64) -> Cnf {
+    let num_clauses = (num_vars as f64 * PHASE_TRANSITION_RATIO_3SAT).round() as usize;
+    random_ksat(num_vars, num_clauses, 3, seed)
+}
+
+/// Generates a **guaranteed-satisfiable** random k-SAT formula by planting
+/// a hidden assignment: every clause is checked to be satisfied by the
+/// hidden model before being emitted (rejection sampling).
+///
+/// Planted instances let SAT-side behaviour be studied at clause/variable
+/// ratios where uniform random formulas would be UNSAT.
+///
+/// Returns the formula and the hidden model.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::planted_ksat;
+/// let (f, model) = planted_ksat(40, 300, 3, 1); // ratio 7.5: uniform would be UNSAT
+/// assert_eq!(cnf::verify_model(&f, &model), Ok(()));
+/// ```
+pub fn planted_ksat(
+    num_vars: u32,
+    num_clauses: usize,
+    k: usize,
+    seed: u64,
+) -> (Cnf, Vec<bool>) {
+    assert!(k >= 1, "clause width must be positive");
+    assert!(k as u32 <= num_vars, "clause width exceeds variable count");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hidden: Vec<bool> = (0..num_vars).map(|_| rng.gen_bool(0.5)).collect();
+    let mut f = Cnf::new(num_vars);
+    while f.num_clauses() < num_clauses {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause: Clause = vars
+            .iter()
+            .map(|&v| Lit::new(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        // keep only clauses the hidden model satisfies
+        if clause
+            .lits()
+            .iter()
+            .any(|l| l.eval(hidden[l.var().index() as usize]))
+        {
+            f.add_clause(clause);
+        }
+    }
+    (f, hidden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_ksat(20, 80, 3, 5), random_ksat(20, 80, 3, 5));
+        assert_ne!(random_ksat(20, 80, 3, 5), random_ksat(20, 80, 3, 6));
+    }
+
+    #[test]
+    fn clauses_have_distinct_vars() {
+        let f = random_ksat(10, 200, 4, 2);
+        for c in f.clauses() {
+            let mut vars: Vec<u32> = c.lits().iter().map(|l| l.var().index()).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 4);
+        }
+    }
+
+    #[test]
+    fn low_ratio_instances_are_sat() {
+        use sat_solver::Solver;
+        // ratio 2.0 is far below the transition: virtually always SAT
+        let f = random_ksat(60, 120, 3, 3);
+        assert!(Solver::from_cnf(&f).solve().is_sat());
+    }
+
+    #[test]
+    fn high_ratio_instances_are_unsat() {
+        use sat_solver::Solver;
+        // ratio 8 is far above the transition: virtually always UNSAT
+        let f = random_ksat(40, 320, 3, 4);
+        assert!(Solver::from_cnf(&f).solve().is_unsat());
+    }
+
+    #[test]
+    fn planted_instances_are_sat_and_verified() {
+        use sat_solver::Solver;
+        // ratio 7 — uniformly random would be UNSAT with high probability
+        let (f, model) = planted_ksat(30, 210, 3, 6);
+        assert_eq!(cnf::verify_model(&f, &model), Ok(()));
+        let mut s = Solver::from_cnf(&f);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn planted_is_deterministic() {
+        assert_eq!(planted_ksat(20, 60, 3, 9).0, planted_ksat(20, 60, 3, 9).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = random_ksat(5, 5, 0, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! SAT instance generators and dataset assembly for the NeuroSelect
+//! reproduction.
+//!
+//! Six instance families span the random↔industrial axis that SAT
+//! competition benchmarks cover:
+//!
+//! | family | generator | typical verdict |
+//! |---|---|---|
+//! | random 3-SAT @ phase transition | [`phase_transition_3sat`] | mixed |
+//! | random XOR-3 systems | [`random_xorsat`] | mixed |
+//! | pigeonhole | [`pigeonhole`] | UNSAT |
+//! | graph 3-colouring | [`coloring_cnf`] | mixed |
+//! | circuit equivalence miters | [`equivalence_miter_cnf`] | UNSAT |
+//! | circuit fault miters (ATPG) | [`fault_miter_cnf`] | SAT |
+//!
+//! [`training_batches`] and [`test_batch`] assemble them into the
+//! 2016–2021 / 2022 split of the paper's Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat_gen::{test_batch, DatasetConfig};
+//! let batch = test_batch(&DatasetConfig::tiny());
+//! let stats = batch.stats();
+//! assert_eq!(stats.num_cnfs, batch.instances.len());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bmc;
+mod coloring;
+mod dataset;
+mod ksat;
+mod miters;
+mod parity;
+mod pigeonhole;
+
+pub use bmc::{bmc_counter_cnf, random_bmc_cnf};
+pub use coloring::{coloring_cnf, decode_coloring, Graph};
+pub use dataset::{
+    competition_batch, generate_instance, load_dimacs_dir, test_batch, training_batches, Batch,
+    BatchStats, DatasetConfig, Family, Instance,
+};
+pub use ksat::{phase_transition_3sat, planted_ksat, random_ksat, PHASE_TRANSITION_RATIO_3SAT};
+pub use miters::{equivalence_miter_cnf, fault_miter_cnf};
+pub use parity::{parity_chain_unsat, random_xorsat, tseitin_expander_unsat};
+pub use pigeonhole::{pigeonhole, pigeonhole_num_clauses};

@@ -1,0 +1,99 @@
+//! Circuit-equivalence miter instances (the "industrial" family).
+
+use cnf::Cnf;
+use logic_circuit::{encode, inject_fault, miter, random_circuit, rewrite, RandomCircuitSpec};
+
+/// Generates an equivalence-checking CNF: a random circuit mitered against
+/// a heavily rewritten but functionally identical twin.
+///
+/// The resulting formula is **unsatisfiable** (the circuits are equivalent),
+/// and exhibits the deep, structured propagation chains typical of
+/// industrial verification instances.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::RandomCircuitSpec;
+/// use sat_gen::equivalence_miter_cnf;
+/// use sat_solver::Solver;
+/// let spec = RandomCircuitSpec { num_inputs: 5, num_gates: 20, num_outputs: 2 };
+/// let f = equivalence_miter_cnf(spec, 11);
+/// assert!(Solver::from_cnf(&f).solve().is_unsat());
+/// ```
+pub fn equivalence_miter_cnf(spec: RandomCircuitSpec, seed: u64) -> Cnf {
+    let original = random_circuit(spec, seed);
+    let twin = rewrite(&original, 0.85, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let m = miter(&original, &twin);
+    let mut enc = encode(&m);
+    enc.assert_node(m.outputs()[0], true);
+    enc.cnf
+}
+
+/// Generates a fault-detection CNF: a random circuit mitered against a
+/// rewritten copy with one injected gate fault.
+///
+/// The formula is **satisfiable** whenever the fault is observable at an
+/// output (almost always, since faults are injected inside output cones);
+/// each model is a test vector exposing the fault — this is CNF-based
+/// automatic test pattern generation (ATPG).
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::RandomCircuitSpec;
+/// use sat_gen::fault_miter_cnf;
+/// let spec = RandomCircuitSpec { num_inputs: 5, num_gates: 20, num_outputs: 2 };
+/// let f = fault_miter_cnf(spec, 11);
+/// assert!(f.num_clauses() > 0);
+/// ```
+pub fn fault_miter_cnf(spec: RandomCircuitSpec, seed: u64) -> Cnf {
+    let original = random_circuit(spec, seed);
+    let twin = rewrite(&original, 0.6, seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2));
+    let faulty = inject_fault(&twin, seed.wrapping_add(3)).unwrap_or(twin);
+    let m = miter(&original, &faulty);
+    let mut enc = encode(&m);
+    enc.assert_node(m.outputs()[0], true);
+    enc.cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_solver::Solver;
+
+    fn spec() -> RandomCircuitSpec {
+        RandomCircuitSpec {
+            num_inputs: 6,
+            num_gates: 30,
+            num_outputs: 3,
+        }
+    }
+
+    #[test]
+    fn equivalence_miters_are_unsat() {
+        for seed in 0..4 {
+            let f = equivalence_miter_cnf(spec(), seed);
+            assert!(
+                Solver::from_cnf(&f).solve().is_unsat(),
+                "equivalence miter seed {seed} must be UNSAT"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_miters_are_usually_sat() {
+        let mut sat = 0;
+        for seed in 0..6 {
+            if Solver::from_cnf(&fault_miter_cnf(spec(), seed)).solve().is_sat() {
+                sat += 1;
+            }
+        }
+        assert!(sat >= 4, "most fault miters should be SAT, got {sat}/6");
+    }
+
+    #[test]
+    fn miters_are_deterministic() {
+        assert_eq!(equivalence_miter_cnf(spec(), 9), equivalence_miter_cnf(spec(), 9));
+        assert_eq!(fault_miter_cnf(spec(), 9), fault_miter_cnf(spec(), 9));
+    }
+}

@@ -1,0 +1,266 @@
+//! Random XOR (parity) systems — Tseitin-style hard instances.
+//!
+//! A random system of parity constraints over GF(2) is easy for Gaussian
+//! elimination but notoriously hard for resolution-based CDCL solvers,
+//! making it a qualitatively different instance family from random k-SAT.
+
+use cnf::{Clause, Cnf, Var};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Encodes the constraint `x_a ⊕ x_b ⊕ x_c = parity` as four clauses.
+fn add_xor3(f: &mut Cnf, a: Var, b: Var, c: Var, parity: bool) {
+    // The clause (l1 ∨ l2 ∨ l3), with l_i negated iff bit i of `signs` is
+    // set, forbids exactly the assignment x_i = s_i. We emit a clause for
+    // every assignment whose XOR differs from the required parity.
+    for signs in 0..8u32 {
+        let forbidden_parity = signs.count_ones() % 2 == 1;
+        if forbidden_parity != parity {
+            f.add_clause(Clause::from_lits(vec![
+                a.lit(signs & 1 != 0),
+                b.lit(signs & 2 != 0),
+                c.lit(signs & 4 != 0),
+            ]));
+        }
+    }
+}
+
+/// Generates a random system of `num_constraints` parity constraints, each
+/// over three distinct variables, CNF-encoded (4 clauses per constraint).
+///
+/// Near `num_constraints ≈ num_vars` the system is at its satisfiability
+/// threshold and maximally hard for CDCL.
+///
+/// # Panics
+///
+/// Panics if `num_vars < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::random_xorsat;
+/// let f = random_xorsat(30, 28, 5);
+/// assert_eq!(f.num_clauses(), 4 * 28);
+/// ```
+pub fn random_xorsat(num_vars: u32, num_constraints: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3, "XOR-3 constraints need at least 3 variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut f = Cnf::new(num_vars);
+    for _ in 0..num_constraints {
+        let mut vars: Vec<u32> = Vec::with_capacity(3);
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        add_xor3(
+            &mut f,
+            Var::new(vars[0]),
+            Var::new(vars[1]),
+            Var::new(vars[2]),
+            rng.gen_bool(0.5),
+        );
+    }
+    f
+}
+
+/// Adds the constraint `⊕ vars = parity` as `2^(k-1)` clauses.
+///
+/// # Panics
+///
+/// Panics if `vars` is empty or longer than 16 (the CNF expansion is
+/// exponential in the constraint width).
+fn add_xor(f: &mut Cnf, vars: &[Var], parity: bool) {
+    assert!(!vars.is_empty() && vars.len() <= 16, "XOR width out of range");
+    for signs in 0..1u32 << vars.len() {
+        let forbidden_parity = signs.count_ones() % 2 == 1;
+        if forbidden_parity != parity {
+            f.add_clause(
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, v)| v.lit(signs >> i & 1 != 0))
+                    .collect(),
+            );
+        }
+    }
+}
+
+/// Generates an **unsatisfiable** Tseitin formula on a random 4-regular
+/// multigraph (the union of two random Hamiltonian cycles on
+/// `num_vertices` vertices).
+///
+/// Each edge is a variable; each vertex contributes the parity constraint
+/// "the XOR of my incident edges equals my charge", with exactly one vertex
+/// charged odd. Since the charge sum is odd the system is unsatisfiable,
+/// and random 4-regular graphs are expanders with high probability, making
+/// these formulas require exponentially long resolution refutations —
+/// a qualitatively different hardness source from pigeonhole counting.
+///
+/// # Panics
+///
+/// Panics if `num_vertices < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::tseitin_expander_unsat;
+/// use sat_solver::Solver;
+/// let f = tseitin_expander_unsat(8, 3);
+/// assert_eq!(f.num_vars(), 16); // 2 cycles × 8 edges
+/// assert!(Solver::from_cnf(&f).solve().is_unsat());
+/// ```
+pub fn tseitin_expander_unsat(num_vertices: u32, seed: u64) -> Cnf {
+    assert!(num_vertices >= 3, "need at least three vertices");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = num_vertices as usize;
+    // incident[v] collects the edge variables touching vertex v.
+    let mut incident: Vec<Vec<Var>> = vec![Vec::new(); n];
+    let mut next_edge = 0u32;
+    for _ in 0..2 {
+        // a random Hamiltonian cycle
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for i in 0..n {
+            let a = order[i];
+            let b = order[(i + 1) % n];
+            let e = Var::new(next_edge);
+            next_edge += 1;
+            incident[a].push(e);
+            incident[b].push(e);
+        }
+    }
+    let mut f = Cnf::new(next_edge);
+    let charged = rng.gen_range(0..n);
+    for (v, edges) in incident.iter().enumerate() {
+        add_xor(&mut f, edges, v == charged);
+    }
+    f
+}
+
+/// Generates an **unsatisfiable** parity chain of length `n`:
+/// `x_1 ⊕ x_2 = 0, x_2 ⊕ x_3 = 0, …, x_{n-1} ⊕ x_n = 0, x_1 ⊕ x_n = 1`.
+///
+/// The chain forces all variables equal and then demands the endpoints
+/// differ. Structure-blind CDCL must refute it clause by clause.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::parity_chain_unsat;
+/// use sat_solver::Solver;
+/// assert!(Solver::from_cnf(&parity_chain_unsat(16)).solve().is_unsat());
+/// ```
+pub fn parity_chain_unsat(n: u32) -> Cnf {
+    assert!(n >= 2, "a chain needs at least two variables");
+    let mut f = Cnf::new(n);
+    let eq = |f: &mut Cnf, a: u32, b: u32| {
+        // x_a ⊕ x_b = 0 (equality): (¬a ∨ b)(a ∨ ¬b)
+        f.add_clause(Clause::from_lits(vec![
+            Var::new(a).negative(),
+            Var::new(b).positive(),
+        ]));
+        f.add_clause(Clause::from_lits(vec![
+            Var::new(a).positive(),
+            Var::new(b).negative(),
+        ]));
+    };
+    for i in 0..n - 1 {
+        eq(&mut f, i, i + 1);
+    }
+    // x_0 ⊕ x_{n-1} = 1 (difference): (a ∨ b)(¬a ∨ ¬b)
+    f.add_clause(Clause::from_lits(vec![
+        Var::new(0).positive(),
+        Var::new(n - 1).positive(),
+    ]));
+    f.add_clause(Clause::from_lits(vec![
+        Var::new(0).negative(),
+        Var::new(n - 1).negative(),
+    ]));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat_solver::Solver;
+
+    /// Reference evaluation of an XOR-3 system by brute force.
+    fn xor3_brute(num_vars: u32, constraints: &[(u32, u32, u32, bool)]) -> bool {
+        (0..1u32 << num_vars).any(|bits| {
+            constraints.iter().all(|&(a, b, c, p)| {
+                (bits >> a & 1 ^ bits >> b & 1 ^ bits >> c & 1 == 1) == p
+            })
+        })
+    }
+
+    #[test]
+    fn xor3_encoding_matches_semantics() {
+        // enumerate all sign/parity combinations on a 3-var constraint
+        for parity in [false, true] {
+            let mut f = Cnf::new(3);
+            add_xor3(&mut f, Var::new(0), Var::new(1), Var::new(2), parity);
+            assert_eq!(f.num_clauses(), 4);
+            for bits in 0..8u32 {
+                let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+                let xor = assignment.iter().filter(|&&b| b).count() % 2 == 1;
+                assert_eq!(
+                    f.eval(&assignment),
+                    Some(xor == parity),
+                    "bits={bits:03b} parity={parity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_xorsat_agrees_with_brute_force() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..5 {
+            let num_vars = 8u32;
+            let f = random_xorsat(num_vars, 9, seed);
+            // reconstruct the constraints with the same RNG stream
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut constraints = Vec::new();
+            for _ in 0..9 {
+                let mut vars: Vec<u32> = Vec::new();
+                while vars.len() < 3 {
+                    let v = rng.gen_range(0..num_vars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                constraints.push((vars[0], vars[1], vars[2], rng.gen_bool(0.5)));
+            }
+            let expected = xor3_brute(num_vars, &constraints);
+            assert_eq!(
+                Solver::from_cnf(&f).solve().is_sat(),
+                expected,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_chain_is_unsat_for_all_lengths() {
+        for n in 2..20 {
+            assert!(
+                Solver::from_cnf(&parity_chain_unsat(n)).solve().is_unsat(),
+                "chain of length {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_chain_clause_count() {
+        let f = parity_chain_unsat(10);
+        assert_eq!(f.num_clauses(), 2 * 9 + 2);
+    }
+}

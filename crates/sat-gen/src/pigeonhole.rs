@@ -1,0 +1,89 @@
+//! Pigeonhole-principle formulas.
+
+use cnf::{Clause, Cnf, Var};
+
+/// Generates the pigeonhole formula `PHP(pigeons, holes)`: every pigeon is
+/// placed in some hole, and no two pigeons share a hole.
+///
+/// Variable `p * holes + h` means "pigeon `p` sits in hole `h`".
+/// The formula is unsatisfiable iff `pigeons > holes`; `PHP(n+1, n)` is the
+/// classic family requiring exponential-size resolution proofs, a worst case
+/// for clause learning.
+///
+/// # Panics
+///
+/// Panics if `pigeons` or `holes` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sat_gen::pigeonhole;
+/// use sat_solver::Solver;
+/// assert!(Solver::from_cnf(&pigeonhole(4, 4)).solve().is_sat());
+/// assert!(Solver::from_cnf(&pigeonhole(5, 4)).solve().is_unsat());
+/// ```
+pub fn pigeonhole(pigeons: u32, holes: u32) -> Cnf {
+    assert!(pigeons > 0 && holes > 0, "need at least one pigeon and hole");
+    let var = |p: u32, h: u32| Var::new(p * holes + h);
+    let mut f = Cnf::new(pigeons * holes);
+    // Each pigeon sits somewhere.
+    for p in 0..pigeons {
+        let clause: Clause = (0..holes).map(|h| var(p, h).positive()).collect();
+        f.add_clause(clause);
+    }
+    // No hole hosts two pigeons.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                f.add_clause(Clause::from_lits(vec![
+                    var(p1, h).negative(),
+                    var(p2, h).negative(),
+                ]));
+            }
+        }
+    }
+    f
+}
+
+/// The number of clauses `PHP(p, h)` contains: `p + h·C(p,2)`.
+pub fn pigeonhole_num_clauses(pigeons: u32, holes: u32) -> usize {
+    pigeons as usize + holes as usize * (pigeons as usize * (pigeons as usize - 1) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::verify_model;
+    use sat_solver::Solver;
+
+    #[test]
+    fn clause_count_formula() {
+        for (p, h) in [(3, 3), (5, 4), (6, 6)] {
+            assert_eq!(pigeonhole(p, h).num_clauses(), pigeonhole_num_clauses(p, h));
+        }
+    }
+
+    #[test]
+    fn equal_sizes_sat_with_valid_model() {
+        let f = pigeonhole(5, 5);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        assert!(verify_model(&f, r.model().expect("sat")).is_ok());
+    }
+
+    #[test]
+    fn one_extra_pigeon_unsat() {
+        for n in 2..6 {
+            assert!(
+                Solver::from_cnf(&pigeonhole(n + 1, n)).solve().is_unsat(),
+                "PHP({}, {n}) must be UNSAT",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_pigeons_than_holes_sat() {
+        assert!(Solver::from_cnf(&pigeonhole(3, 7)).solve().is_sat());
+    }
+}

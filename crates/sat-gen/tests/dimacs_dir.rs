@@ -1,0 +1,59 @@
+//! Integration test for the external-benchmark loader.
+
+use sat_gen::{load_dimacs_dir, Family};
+use std::fs;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sat-gen-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn loads_cnf_files_sorted_by_name() {
+    let dir = temp_dir("load");
+    fs::write(dir.join("b.cnf"), "p cnf 2 1\n1 2 0\n").unwrap();
+    fs::write(dir.join("a.cnf"), "p cnf 1 1\n-1 0\n").unwrap();
+    fs::write(dir.join("c.dimacs"), "p cnf 3 1\n1 -2 3 0\n").unwrap();
+    fs::write(dir.join("ignored.txt"), "not a cnf").unwrap();
+
+    let batch = load_dimacs_dir(&dir).expect("load");
+    assert_eq!(batch.instances.len(), 3);
+    let names: Vec<&str> = batch
+        .instances
+        .iter()
+        .map(|i| i.name.rsplit('/').next().unwrap())
+        .collect();
+    assert_eq!(names, vec!["a", "b", "c"]);
+    assert!(batch.instances.iter().all(|i| i.family == Family::External));
+    assert_eq!(batch.instances[0].cnf.num_vars(), 1);
+    assert_eq!(batch.instances[2].cnf.num_clauses(), 1);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_file_is_an_error() {
+    let dir = temp_dir("bad");
+    fs::write(dir.join("bad.cnf"), "p cnf x y\n").unwrap();
+    let err = load_dimacs_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("bad.cnf"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_directory_is_an_error() {
+    assert!(load_dimacs_dir("/nonexistent/surely/absent").is_err());
+}
+
+#[test]
+fn empty_directory_gives_empty_batch() {
+    let dir = temp_dir("empty");
+    let batch = load_dimacs_dir(&dir).expect("load");
+    assert!(batch.instances.is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,228 @@
+//! `rsat` — a DIMACS command-line front end for the CDCL solver.
+//!
+//! ```text
+//! rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]
+//!               [--conflicts N] [--propagations N] [--proof FILE.drat]
+//!               [--check-proof] [--stats]
+//! ```
+//!
+//! Exit codes follow the SAT-competition convention: 10 = SAT,
+//! 20 = UNSAT, 0 = unknown/indeterminate, 1 = usage or I/O error.
+
+use sat_solver::{
+    check_proof, preprocess, Budget, PolicyKind, PreprocessConfig, Preprocessed, SolveResult,
+    Solver, SolverConfig,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    policy: PolicyKind,
+    budget: Budget,
+    proof_path: Option<String>,
+    check: bool,
+    stats: bool,
+    preprocess: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]\n\
+         \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
+         \x20             [--check-proof] [--stats] [--preprocess]"
+    );
+    std::process::exit(1)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut policy = PolicyKind::Default;
+    let mut alpha: Option<f64> = None;
+    let mut budget = Budget::unlimited();
+    let mut proof_path = None;
+    let mut check = false;
+    let mut stats = false;
+    let mut preprocess = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--policy" => {
+                policy = match args.next().as_deref() {
+                    Some("default") => PolicyKind::Default,
+                    Some("prop-freq") => PolicyKind::PropFreq,
+                    Some("activity") => PolicyKind::Activity,
+                    _ => usage(),
+                }
+            }
+            "--alpha" => {
+                alpha = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--conflicts" => {
+                budget.max_conflicts = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--propagations" => {
+                budget.max_propagations =
+                    args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--proof" => proof_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--check-proof" => check = true,
+            "--stats" => stats = true,
+            "--preprocess" => preprocess = true,
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if let Some(a) = alpha {
+        policy = PolicyKind::PropFreqAlpha(a);
+    }
+    Options {
+        file: file.unwrap_or_else(|| usage()),
+        policy,
+        budget,
+        proof_path,
+        check,
+        stats,
+        preprocess,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let formula = match File::open(&opts.file)
+        .map_err(|e| e.to_string())
+        .and_then(|f| cnf::parse_dimacs(BufReader::new(f)).map_err(|e| e.to_string()))
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("rsat: {}: {e}", opts.file);
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "c rsat | {} vars, {} clauses | policy {}",
+        formula.num_vars(),
+        formula.num_clauses(),
+        opts.policy
+    );
+
+    // Optional SatELite-style simplification. Proof logging covers only the
+    // search phase, so --preprocess and --proof are mutually exclusive.
+    let mut reconstruction = None;
+    let mut search_formula = formula.clone();
+    if opts.preprocess {
+        if opts.proof_path.is_some() || opts.check {
+            eprintln!("rsat: --preprocess cannot be combined with proof options");
+            return ExitCode::from(1);
+        }
+        match preprocess(&formula, &PreprocessConfig::default()) {
+            Preprocessed::Unsat => {
+                println!("c preprocessing refuted the formula");
+                println!("s UNSATISFIABLE");
+                return ExitCode::from(20);
+            }
+            Preprocessed::Simplified {
+                cnf,
+                reconstruction: rec,
+            } => {
+                println!(
+                    "c preprocessed to {} clauses ({} vars eliminated, {} fixed)",
+                    cnf.num_clauses(),
+                    rec.num_eliminated(),
+                    rec.num_fixed()
+                );
+                search_formula = cnf;
+                reconstruction = Some(rec);
+            }
+        }
+    }
+
+    let mut solver = Solver::new(&search_formula, SolverConfig::with_policy(opts.policy));
+    if opts.proof_path.is_some() || opts.check {
+        solver.enable_proof();
+    }
+    let result = solver.solve_with_budget(opts.budget);
+
+    if opts.stats {
+        let s = solver.stats();
+        println!(
+            "c decisions {} | propagations {} | conflicts {} | restarts {} | \
+             reductions {} | learned {} | deleted {}",
+            s.decisions,
+            s.propagations,
+            s.conflicts,
+            s.restarts,
+            s.reductions,
+            s.learned_clauses,
+            s.deleted_clauses
+        );
+    }
+
+    let code = match &result {
+        SolveResult::Sat(model) => {
+            let mut model = model.clone();
+            if let Some(rec) = &reconstruction {
+                model.resize(formula.num_vars() as usize, false);
+                rec.extend_model(&mut model);
+            }
+            let model = &model;
+            if cnf::verify_model(&formula, model).is_err() {
+                eprintln!("rsat: internal error: model failed verification");
+                return ExitCode::from(1);
+            }
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (i, &v) in model.iter().enumerate() {
+                line.push(' ');
+                if !v {
+                    line.push('-');
+                }
+                line.push_str(&(i + 1).to_string());
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            10
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            20
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            0
+        }
+    };
+
+    if let Some(proof) = solver.take_proof() {
+        if let Some(path) = &opts.proof_path {
+            match File::create(path) {
+                Ok(f) => {
+                    let mut w = BufWriter::new(f);
+                    if proof.write_drat(&mut w).and_then(|()| w.flush()).is_err() {
+                        eprintln!("rsat: failed to write proof to {path}");
+                        return ExitCode::from(1);
+                    }
+                    println!("c proof written to {path}");
+                }
+                Err(e) => {
+                    eprintln!("rsat: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        if opts.check && result.is_unsat() {
+            match check_proof(&formula, &proof) {
+                Ok(()) => println!("c proof VERIFIED by the built-in RUP checker"),
+                Err(e) => {
+                    eprintln!("rsat: proof check FAILED: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    ExitCode::from(code)
+}

@@ -1,0 +1,270 @@
+//! Learned/original clause storage for the CDCL solver.
+//!
+//! Clauses live in a slab indexed by [`ClauseRef`]. Deleted clauses are
+//! marked garbage and their slots recycled through a free list, so
+//! `ClauseRef`s held by watches and reasons stay valid until the owner drops
+//! them (the solver detaches watches and checks reasons before deletion).
+
+use cnf::Lit;
+use std::fmt;
+
+/// A stable handle to a clause inside a [`ClauseDb`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseRef(u32);
+
+impl ClauseRef {
+    /// The raw slab index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClauseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClauseRef({})", self.0)
+    }
+}
+
+/// A stored clause with the metadata clause-deletion policies consume.
+#[derive(Clone, Debug)]
+pub struct StoredClause {
+    lits: Vec<Lit>,
+    /// Literal block distance at learn time, updated downward when revisited.
+    pub glue: u32,
+    /// Bumped whenever the clause participates in conflict analysis.
+    pub activity: f64,
+    /// Whether this clause was learned (original clauses are never deleted).
+    pub learned: bool,
+    /// Protected clauses survive the next reduction (recently used).
+    pub protected: bool,
+    garbage: bool,
+}
+
+impl StoredClause {
+    /// The clause's literals. The first two are the watched literals.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mutable literal access (the solver reorders watches in place).
+    #[inline]
+    pub fn lits_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+}
+
+/// Slab of clauses with recycling of deleted slots.
+#[derive(Default)]
+pub struct ClauseDb {
+    clauses: Vec<StoredClause>,
+    free: Vec<u32>,
+    num_learned: usize,
+    num_original: usize,
+    lits_in_learned: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a clause and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lits` has fewer than two literals; unit and empty clauses
+    /// are handled on the trail, not stored.
+    pub fn add(&mut self, lits: Vec<Lit>, learned: bool, glue: u32) -> ClauseRef {
+        assert!(lits.len() >= 2, "stored clauses must have >= 2 literals");
+        if learned {
+            self.num_learned += 1;
+            self.lits_in_learned += lits.len();
+        } else {
+            self.num_original += 1;
+        }
+        let clause = StoredClause {
+            lits,
+            glue,
+            activity: 0.0,
+            learned,
+            protected: false,
+            garbage: false,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.clauses[slot as usize] = clause;
+                ClauseRef(slot)
+            }
+            None => {
+                self.clauses.push(clause);
+                ClauseRef(self.clauses.len() as u32 - 1)
+            }
+        }
+    }
+
+    /// Accesses a live clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cref` refers to a deleted clause (debug builds).
+    #[inline]
+    pub fn clause(&self, cref: ClauseRef) -> &StoredClause {
+        let c = &self.clauses[cref.index()];
+        debug_assert!(!c.garbage, "access to deleted clause {cref:?}");
+        c
+    }
+
+    /// Mutable access to a live clause.
+    #[inline]
+    pub fn clause_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
+        let c = &mut self.clauses[cref.index()];
+        debug_assert!(!c.garbage, "access to deleted clause {cref:?}");
+        c
+    }
+
+    /// Marks a clause deleted and recycles its slot.
+    pub fn remove(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.index()];
+        debug_assert!(!c.garbage, "double delete of {cref:?}");
+        if c.learned {
+            self.num_learned -= 1;
+            self.lits_in_learned -= c.lits.len();
+        } else {
+            self.num_original -= 1;
+        }
+        c.garbage = true;
+        c.lits = Vec::new();
+        self.free.push(cref.index() as u32);
+    }
+
+    /// Whether the handle refers to a live clause.
+    #[inline]
+    pub fn is_live(&self, cref: ClauseRef) -> bool {
+        !self.clauses[cref.index()].garbage
+    }
+
+    /// Number of live learned clauses.
+    #[inline]
+    pub fn num_learned(&self) -> usize {
+        self.num_learned
+    }
+
+    /// Number of live original clauses.
+    #[inline]
+    pub fn num_original(&self) -> usize {
+        self.num_original
+    }
+
+    /// Total literal occurrences in live learned clauses.
+    #[inline]
+    pub fn lits_in_learned(&self) -> usize {
+        self.lits_in_learned
+    }
+
+    /// Iterates over handles of all live clauses.
+    pub fn iter_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.garbage)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Iterates over handles of live learned clauses.
+    pub fn iter_learned(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.garbage && c.learned)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+
+    /// Rescales all clause activities by `factor` (activity overflow guard).
+    pub fn rescale_activity(&mut self, factor: f64) {
+        for c in &mut self.clauses {
+            if !c.garbage {
+                c.activity *= factor;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ClauseDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClauseDb({} original, {} learned, {} free slots)",
+            self.num_original,
+            self.num_learned,
+            self.free.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ds: &[i32]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn add_and_access() {
+        let mut db = ClauseDb::new();
+        let c = db.add(lits(&[1, -2, 3]), false, 0);
+        assert_eq!(db.clause(c).len(), 3);
+        assert_eq!(db.num_original(), 1);
+        assert_eq!(db.num_learned(), 0);
+    }
+
+    #[test]
+    fn remove_recycles_slot() {
+        let mut db = ClauseDb::new();
+        let a = db.add(lits(&[1, 2]), true, 2);
+        db.remove(a);
+        assert!(!db.is_live(a));
+        assert_eq!(db.num_learned(), 0);
+        let b = db.add(lits(&[3, 4]), true, 1);
+        assert_eq!(a.index(), b.index(), "slot should be recycled");
+        assert!(db.is_live(b));
+    }
+
+    #[test]
+    fn learned_literal_accounting() {
+        let mut db = ClauseDb::new();
+        let a = db.add(lits(&[1, 2, 3]), true, 2);
+        let _b = db.add(lits(&[1, 2]), true, 2);
+        assert_eq!(db.lits_in_learned(), 5);
+        db.remove(a);
+        assert_eq!(db.lits_in_learned(), 2);
+    }
+
+    #[test]
+    fn iter_learned_skips_garbage_and_original() {
+        let mut db = ClauseDb::new();
+        let _o = db.add(lits(&[1, 2]), false, 0);
+        let l1 = db.add(lits(&[3, 4]), true, 2);
+        let l2 = db.add(lits(&[5, 6]), true, 2);
+        db.remove(l1);
+        let learned: Vec<_> = db.iter_learned().collect();
+        assert_eq!(learned, vec![l2]);
+        assert_eq!(db.iter_refs().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn rejects_unit_clause() {
+        ClauseDb::new().add(lits(&[1]), false, 0);
+    }
+}

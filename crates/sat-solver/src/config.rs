@@ -1,0 +1,234 @@
+//! Solver configuration, resource budgets, and results.
+
+use crate::{Branching, PolicyKind, RestartStrategy};
+
+/// Tunable parameters of the CDCL solver.
+///
+/// The defaults are scaled for the laptop-sized instances produced by
+/// `sat-gen` (10²–10⁴ variables): reductions happen early and often so the
+/// clause-deletion policy — the object of study — is exercised many times
+/// per solve.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{PolicyKind, SolverConfig};
+/// let cfg = SolverConfig {
+///     policy: PolicyKind::PropFreq,
+///     ..SolverConfig::default()
+/// };
+/// assert_eq!(cfg.policy, PolicyKind::PropFreq);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Which clause-deletion policy scores reducible clauses.
+    pub policy: PolicyKind,
+    /// Decision-variable selection heuristic.
+    pub branching: Branching,
+    /// Restart scheduling.
+    pub restart: RestartStrategy,
+    /// Variable-activity decay factor (EVSIDS), in `(0, 1)`.
+    pub var_decay: f64,
+    /// Clause-activity decay factor, in `(0, 1)`.
+    pub clause_decay: f64,
+    /// Learned clauses kept unconditionally when their glue is at most this
+    /// ("non-reducible" tier in Kissat's terminology).
+    pub tier1_glue: u32,
+    /// First reduction triggers when this many reducible learned clauses
+    /// have accumulated.
+    pub reduce_init: usize,
+    /// The trigger grows by this amount after every reduction.
+    pub reduce_inc: usize,
+    /// Fraction of reducible clauses deleted at each reduction, in `(0, 1]`.
+    pub reduce_fraction: f64,
+    /// Initial phase for unassigned variables without a saved phase.
+    pub initial_phase: bool,
+    /// Random seed (reserved for randomized decision tie-breaking).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            policy: PolicyKind::Default,
+            branching: Branching::default(),
+            restart: RestartStrategy::default(),
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            tier1_glue: 2,
+            reduce_init: 100,
+            reduce_inc: 75,
+            reduce_fraction: 0.5,
+            initial_phase: false,
+            seed: 0,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration using the given deletion policy and defaults
+    /// everywhere else.
+    pub fn with_policy(policy: PolicyKind) -> Self {
+        SolverConfig {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// Resource limits for one `solve` call.
+///
+/// The solver checks limits at every conflict; when a limit is hit it
+/// returns [`SolveResult::Unknown`]. `Budget::default()` is unlimited.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::Budget;
+/// let b = Budget::conflicts(10_000);
+/// assert_eq!(b.max_conflicts, Some(10_000));
+/// assert_eq!(b.max_propagations, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Stop after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Stop after this many propagations.
+    pub max_propagations: Option<u64>,
+}
+
+impl Budget {
+    /// Unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limit by conflict count only.
+    pub fn conflicts(n: u64) -> Self {
+        Budget {
+            max_conflicts: Some(n),
+            max_propagations: None,
+        }
+    }
+
+    /// Limit by propagation count only.
+    pub fn propagations(n: u64) -> Self {
+        Budget {
+            max_conflicts: None,
+            max_propagations: Some(n),
+        }
+    }
+
+    /// Whether the given counters exhaust this budget.
+    pub fn exhausted(&self, conflicts: u64, propagations: u64) -> bool {
+        self.max_conflicts.is_some_and(|m| conflicts >= m)
+            || self.max_propagations.is_some_and(|m| propagations >= m)
+    }
+}
+
+/// Outcome of a `solve` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a model assigning every variable
+    /// (`model[v]` is the value of variable index `v`).
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The resource budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Whether the result is [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Whether the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+
+    /// Whether the result is [`SolveResult::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SolveResult::Unknown)
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Counters accumulated during solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals assigned by unit propagation. This is the paper's primary
+    /// deterministic cost metric for labelling (Section 5.1).
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clause-database reductions performed.
+    pub reductions: u64,
+    /// Learned clauses added (before deletions).
+    pub learned_clauses: u64,
+    /// Learned clauses deleted by reductions.
+    pub deleted_clauses: u64,
+    /// Literals removed by learned-clause minimization.
+    pub minimized_lits: u64,
+    /// Sum of glue values of all learned clauses (for averages).
+    pub glue_sum: u64,
+}
+
+impl SolverStats {
+    /// Mean glue over all learned clauses, or 0.0 when none were learned.
+    pub fn avg_glue(&self) -> f64 {
+        if self.learned_clauses == 0 {
+            0.0
+        } else {
+            self.glue_sum as f64 / self.learned_clauses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhaustion() {
+        let b = Budget {
+            max_conflicts: Some(10),
+            max_propagations: Some(100),
+        };
+        assert!(!b.exhausted(9, 99));
+        assert!(b.exhausted(10, 0));
+        assert!(b.exhausted(0, 100));
+        assert!(!Budget::unlimited().exhausted(u64::MAX - 1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn result_accessors() {
+        let sat = SolveResult::Sat(vec![true]);
+        assert!(sat.is_sat() && !sat.is_unsat() && !sat.is_unknown());
+        assert_eq!(sat.model(), Some(&[true][..]));
+        assert_eq!(SolveResult::Unsat.model(), None);
+        assert!(SolveResult::Unknown.is_unknown());
+    }
+
+    #[test]
+    fn avg_glue_handles_zero() {
+        let mut s = SolverStats::default();
+        assert_eq!(s.avg_glue(), 0.0);
+        s.learned_clauses = 4;
+        s.glue_sum = 10;
+        assert_eq!(s.avg_glue(), 2.5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Max-heap over variables ordered by VSIDS activity.
+
+use cnf::Var;
+
+/// A binary max-heap of variables keyed by an external activity array,
+/// with O(log n) increase-key via an index table.
+///
+/// The solver keeps every unassigned variable in the heap; popping yields
+/// the highest-activity candidate for the next decision.
+#[derive(Debug, Default, Clone)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// position[v] = index in `heap`, or `usize::MAX` when absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap sized for `num_vars` variables.
+    pub fn new(num_vars: u32) -> Self {
+        VarHeap {
+            heap: Vec::with_capacity(num_vars as usize),
+            position: vec![ABSENT; num_vars as usize],
+        }
+    }
+
+    /// Number of variables currently in the heap.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether `v` is in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.position[v.index() as usize] != ABSENT
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index() as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top.index() as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index() as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        let pos = self.position[v.index() as usize];
+        if pos != ABSENT {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn key(&self, i: usize, activity: &[f64]) -> f64 {
+        activity[self.heap[i].index() as usize]
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a].index() as usize] = a;
+        self.position[self.heap[b].index() as usize] = b;
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(i, activity) <= self.key(parent, activity) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.key(l, activity) > self.key(best, activity) {
+                best = l;
+            }
+            if r < self.heap.len() && self.key(r, activity) > self.key(best, activity) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariant(&self, activity: &[f64]) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(self.key(parent, activity) >= self.key(i, activity));
+        }
+        for (i, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.position[v.index() as usize], i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 2.0, 1.0, 3.0];
+        let mut h = VarHeap::new(4);
+        for i in 0..4 {
+            h.insert(Var::new(i), &activity);
+        }
+        h.check_invariant(&activity);
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0; 3];
+        let mut h = VarHeap::new(3);
+        h.insert(Var::new(1), &activity);
+        h.insert(Var::new(1), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn update_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new(3);
+        for i in 0..3 {
+            h.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::new(0), &activity);
+        h.check_invariant(&activity);
+        assert_eq!(h.pop(&activity), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new(2);
+        h.insert(Var::new(0), &activity);
+        h.insert(Var::new(1), &activity);
+        let top = h.pop(&activity).unwrap();
+        assert!(!h.contains(top));
+        h.insert(top, &activity);
+        assert!(h.contains(top));
+        h.check_invariant(&activity);
+    }
+
+    #[test]
+    fn randomized_against_invariant() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 64u32;
+        let mut activity: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mut h = VarHeap::new(n);
+        for _ in 0..2000 {
+            match rng.gen_range(0..4) {
+                0 => h.insert(Var::new(rng.gen_range(0..n)), &activity),
+                1 => {
+                    let _ = h.pop(&activity);
+                }
+                _ => {
+                    let v = rng.gen_range(0..n) as usize;
+                    activity[v] += rng.gen::<f64>();
+                    h.update(Var::new(v as u32), &activity);
+                }
+            }
+            h.check_invariant(&activity);
+        }
+    }
+}

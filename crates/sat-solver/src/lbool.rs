@@ -1,0 +1,114 @@
+//! Three-valued logic for partial assignments.
+
+use std::fmt;
+
+/// A lifted Boolean: true, false, or unassigned.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::LBool;
+/// assert_eq!(LBool::from(true), LBool::True);
+/// assert_eq!(LBool::Undef.to_bool(), None);
+/// assert_eq!(!LBool::True, LBool::False);
+/// assert_eq!(!LBool::Undef, LBool::Undef);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts to `Option<bool>`: `None` when unassigned.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Whether the value is assigned (not [`LBool::Undef`]).
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self != LBool::Undef
+    }
+
+    /// XOR with a Boolean: flips `True`/`False` when `flip` is true, keeps
+    /// `Undef` untouched. Used to evaluate a literal from its variable value.
+    #[inline]
+    pub fn xor(self, flip: bool) -> LBool {
+        if flip {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+impl std::ops::Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => write!(f, "⊤"),
+            LBool::False => write!(f, "⊥"),
+            LBool::Undef => write!(f, "?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_is_involutive_on_assigned() {
+        assert_eq!(!!LBool::True, LBool::True);
+        assert_eq!(!!LBool::False, LBool::False);
+        assert_eq!(!LBool::Undef, LBool::Undef);
+    }
+
+    #[test]
+    fn xor_evaluates_literals() {
+        // positive literal: no flip; negative literal: flip
+        assert_eq!(LBool::True.xor(false), LBool::True);
+        assert_eq!(LBool::True.xor(true), LBool::False);
+        assert_eq!(LBool::Undef.xor(true), LBool::Undef);
+    }
+
+    #[test]
+    fn default_is_undef() {
+        assert_eq!(LBool::default(), LBool::Undef);
+        assert!(!LBool::default().is_assigned());
+    }
+}

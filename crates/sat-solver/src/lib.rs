@@ -1,0 +1,61 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver with pluggable
+//! clause-deletion policies.
+//!
+//! This crate is the solver substrate for the NeuroSelect reproduction
+//! (DAC 2024). Its architecture mirrors the relevant parts of Kissat:
+//!
+//! * two-watched-literal Boolean constraint propagation,
+//! * first-UIP conflict analysis with recursive clause minimization,
+//! * EVSIDS variable activities with phase saving,
+//! * Luby or glue-EMA restarts,
+//! * tiered learned-clause reduction where low-glue clauses are
+//!   non-reducible and the rest are scored by a [`DeletionPolicy`].
+//!
+//! The deletion policy is the paper's object of study: [`DefaultPolicy`]
+//! reproduces Kissat's `~glue | ~size` scoring and [`PropFreqPolicy`]
+//! implements the new propagation-frequency criterion of Equation (2).
+//! Per-variable propagation counters are exposed through
+//! [`Solver::propagation_frequencies`] (the data behind the paper's
+//! Figure 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use sat_solver::{Budget, PolicyKind, Solver, SolverConfig};
+//!
+//! let formula = cnf::parse_dimacs_str("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n")?;
+//! let mut solver = Solver::new(&formula, SolverConfig::with_policy(PolicyKind::PropFreq));
+//! let result = solver.solve_with_budget(Budget::conflicts(100_000));
+//! if let Some(model) = result.model() {
+//!     assert!(cnf::verify_model(&formula, model).is_ok());
+//! }
+//! # Ok::<(), cnf::ParseDimacsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clause_db;
+mod config;
+mod freq;
+mod heap;
+mod lbool;
+mod observer;
+mod policy;
+mod preprocess;
+mod proof;
+mod restart;
+mod solver;
+mod vmtf;
+
+pub use config::{Budget, SolveResult, SolverConfig, SolverStats};
+pub use freq::FrequencyTable;
+pub use lbool::LBool;
+pub use observer::{GlueTrace, NullObserver, SearchObserver};
+pub use policy::{
+    ActivityPolicy, ClauseScoreCtx, DefaultPolicy, DeletionPolicy, PolicyKind, PropFreqPolicy,
+};
+pub use preprocess::{preprocess, PreprocessConfig, Preprocessed, Reconstruction};
+pub use proof::{check_proof, ProofError, ProofLogger, ProofStep};
+pub use restart::{luby, RestartScheduler, RestartStrategy};
+pub use solver::{solve_with_policy, Branching, DbStats, Solver};

@@ -1,0 +1,141 @@
+//! Search instrumentation: observer callbacks for conflicts, restarts, and
+//! clause-database reductions.
+//!
+//! Observers enable the kind of in-flight measurement behind the paper's
+//! Figure 3 (propagation-frequency snapshots at reduction time) without
+//! baking every experiment into the solver. The built-in [`GlueTrace`]
+//! records the learned-glue time series and per-reduction deletion counts.
+
+/// Callbacks invoked by the solver during search. All methods default to
+/// no-ops; implement only what you need.
+///
+/// Observers must be cheap: `on_conflict` fires on every conflict.
+pub trait SearchObserver: std::any::Any {
+    /// A conflict was analyzed; `glue` and `learned_len` describe the
+    /// clause that was just learned.
+    fn on_conflict(&mut self, conflict_no: u64, glue: u32, learned_len: usize) {
+        let _ = (conflict_no, glue, learned_len);
+    }
+
+    /// A restart was performed.
+    fn on_restart(&mut self, restart_no: u64) {
+        let _ = restart_no;
+    }
+
+    /// A clause-database reduction finished, deleting `deleted` of
+    /// `candidates` reducible clauses.
+    fn on_reduction(&mut self, reduction_no: u64, deleted: usize, candidates: usize) {
+        let _ = (reduction_no, deleted, candidates);
+    }
+}
+
+/// A no-op observer (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SearchObserver for NullObserver {}
+
+/// Records the glue time series and reduction history.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{GlueTrace, Solver};
+/// let f = sat_gen_example();
+/// let mut solver = Solver::from_cnf(&f);
+/// let trace = GlueTrace::default();
+/// let trace = {
+///     let mut solver = solver;
+///     solver.set_observer(Box::new(trace));
+///     solver.solve();
+///     solver.take_observer::<GlueTrace>().expect("observer present")
+/// };
+/// assert_eq!(trace.glues.len() as u64, trace.conflicts);
+/// # fn sat_gen_example() -> cnf::Cnf {
+/// #     let mut f = cnf::Cnf::new(0);
+/// #     for c in [[1, 2, 3], [-1, -2, 3], [1, -2, -3], [-1, 2, -3]] {
+/// #         f.add_dimacs(&c);
+/// #     }
+/// #     f
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlueTrace {
+    /// Glue of every learned clause, in conflict order.
+    pub glues: Vec<u32>,
+    /// Total conflicts observed.
+    pub conflicts: u64,
+    /// Total restarts observed.
+    pub restarts: u64,
+    /// `(deleted, candidates)` per reduction.
+    pub reductions: Vec<(usize, usize)>,
+}
+
+impl SearchObserver for GlueTrace {
+    fn on_conflict(&mut self, _conflict_no: u64, glue: u32, _learned_len: usize) {
+        self.conflicts += 1;
+        self.glues.push(glue);
+    }
+
+    fn on_restart(&mut self, _restart_no: u64) {
+        self.restarts += 1;
+    }
+
+    fn on_reduction(&mut self, _reduction_no: u64, deleted: usize, candidates: usize) {
+        self.reductions.push((deleted, candidates));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Solver, SolverConfig};
+
+    #[test]
+    fn trace_matches_solver_statistics() {
+        let f = crate::preprocess::tests_support::php(6, 5);
+        let mut solver = Solver::new(
+            &f,
+            SolverConfig {
+                reduce_init: 5,
+                reduce_inc: 5,
+                ..SolverConfig::default()
+            },
+        );
+        solver.set_observer(Box::new(GlueTrace::default()));
+        assert!(solver.solve().is_unsat());
+        let stats = *solver.stats();
+        let trace = solver.take_observer::<GlueTrace>().expect("observer");
+        // the final top-level conflict terminates the search before
+        // analysis, so it is counted by stats but never observed
+        assert_eq!(trace.conflicts, stats.conflicts - 1);
+        assert_eq!(trace.restarts, stats.restarts);
+        assert_eq!(trace.reductions.len() as u64, stats.reductions);
+        assert_eq!(
+            trace.reductions.iter().map(|&(d, _)| d as u64).sum::<u64>(),
+            stats.deleted_clauses
+        );
+        assert_eq!(trace.glues.len() as u64, stats.learned_clauses);
+        assert_eq!(trace.glues.iter().map(|&g| g as u64).sum::<u64>(), stats.glue_sum);
+    }
+
+    #[test]
+    fn take_observer_of_wrong_type_is_none() {
+        let f = cnf::parse_dimacs_str("p cnf 1 1\n1 0\n").unwrap();
+        let mut solver = Solver::from_cnf(&f);
+        solver.set_observer(Box::new(NullObserver));
+        assert!(solver.take_observer::<GlueTrace>().is_none());
+    }
+
+    #[test]
+    fn observerless_solving_is_unaffected() {
+        let f = cnf::parse_dimacs_str("p cnf 2 2\n1 2 0\n-1 2 0\n").unwrap();
+        let mut a = Solver::from_cnf(&f);
+        let ra = a.solve();
+        let mut b = Solver::from_cnf(&f);
+        b.set_observer(Box::new(NullObserver));
+        let rb = b.solve();
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats(), b.stats());
+    }
+}

@@ -1,0 +1,354 @@
+//! Clause-deletion policies (Section 3 of the paper).
+//!
+//! When the learned-clause database is reduced, every *reducible* learned
+//! clause is assigned a 64-bit score and the lowest-scoring half is deleted.
+//! Two policies are provided:
+//!
+//! * [`DefaultPolicy`] — Kissat's default: glue (LBD) is the primary key and
+//!   size the secondary key, both negated so that *lower* glue/size yield
+//!   *higher* scores (Figure 5, top).
+//! * [`PropFreqPolicy`] — the paper's new policy: the clause's *propagation
+//!   frequency* `c.frequency = Σ_{v∈c} [f_v > α·f_max]` (Equation 2) becomes
+//!   the primary key, with negated glue and size as tie-breakers
+//!   (Figure 5, bottom).
+//!
+//! The exact bit widths in the paper's Figure 5 are illegible in print; this
+//! implementation uses `frequency(20) | ~glue(20) | ~size(24)` for the new
+//! policy and `~glue(32) | ~size(32)` for the default, which preserves the
+//! published key ordering.
+
+use crate::FrequencyTable;
+use cnf::Lit;
+use std::fmt;
+
+/// Everything a deletion policy may consult when scoring one clause.
+#[derive(Debug)]
+pub struct ClauseScoreCtx<'a> {
+    /// The clause's literals.
+    pub lits: &'a [Lit],
+    /// Literal block distance (glue) of the clause.
+    pub glue: u32,
+    /// Clause activity (conflict-analysis participation, decayed).
+    pub activity: f64,
+    /// Per-variable propagation counters since the last reduction.
+    pub freq: &'a FrequencyTable,
+}
+
+/// A clause-deletion policy: maps clause metadata to a keep-priority score.
+///
+/// Higher scores are kept; during reduction the reducible clauses are sorted
+/// by score and the lower half deleted. Implementations must be pure
+/// functions of the context so reductions are reproducible.
+pub trait DeletionPolicy: fmt::Debug + Send + Sync {
+    /// Stable human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Computes the 64-bit keep-priority score of one clause.
+    fn score(&self, ctx: &ClauseScoreCtx<'_>) -> u64;
+}
+
+const GLUE32_MASK: u64 = 0xFFFF_FFFF;
+const SIZE32_MASK: u64 = 0xFFFF_FFFF;
+const FREQ20_MAX: u64 = (1 << 20) - 1;
+const GLUE20_MASK: u64 = (1 << 20) - 1;
+const SIZE24_MASK: u64 = (1 << 24) - 1;
+
+/// Kissat's default clause scoring: `~glue | ~size` (Figure 5, top).
+///
+/// Lower glue wins; among equal glue, smaller clauses win.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{ClauseScoreCtx, DefaultPolicy, DeletionPolicy, FrequencyTable};
+/// use cnf::Lit;
+/// let freq = FrequencyTable::new(4);
+/// let lits: Vec<Lit> = [1, 2].iter().map(|&d| Lit::from_dimacs(d)).collect();
+/// let low_glue = DefaultPolicy.score(&ClauseScoreCtx { lits: &lits, glue: 2, activity: 0.0, freq: &freq });
+/// let high_glue = DefaultPolicy.score(&ClauseScoreCtx { lits: &lits, glue: 9, activity: 0.0, freq: &freq });
+/// assert!(low_glue > high_glue);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefaultPolicy;
+
+impl DeletionPolicy for DefaultPolicy {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn score(&self, ctx: &ClauseScoreCtx<'_>) -> u64 {
+        let neg_glue = !(ctx.glue as u64) & GLUE32_MASK;
+        let neg_size = !(ctx.lits.len() as u64) & SIZE32_MASK;
+        neg_glue << 32 | neg_size
+    }
+}
+
+/// The paper's propagation-frequency-guided scoring:
+/// `frequency | ~glue | ~size` (Figure 5, bottom; Equation 2).
+///
+/// A clause containing many *hot* variables — variables whose propagation
+/// count since the last reduction exceeds `α · f_max` — outranks any
+/// glue/size combination among clauses with fewer hot variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropFreqPolicy {
+    /// The hotness threshold α from Equation (2); the paper uses 4/5.
+    pub alpha: f64,
+}
+
+impl PropFreqPolicy {
+    /// Creates the policy with the paper's empirically chosen α = 4/5.
+    pub fn new() -> Self {
+        PropFreqPolicy { alpha: 0.8 }
+    }
+
+    /// Creates the policy with a custom hotness threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= alpha <= 1.0`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        PropFreqPolicy { alpha }
+    }
+
+    /// Equation (2): the number of literals whose variable is hot.
+    pub fn clause_frequency(&self, lits: &[Lit], freq: &FrequencyTable) -> u64 {
+        lits.iter()
+            .filter(|l| freq.is_hot(l.var(), self.alpha))
+            .count() as u64
+    }
+}
+
+impl Default for PropFreqPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeletionPolicy for PropFreqPolicy {
+    fn name(&self) -> &'static str {
+        "prop-freq"
+    }
+
+    fn score(&self, ctx: &ClauseScoreCtx<'_>) -> u64 {
+        let frequency = self.clause_frequency(ctx.lits, ctx.freq).min(FREQ20_MAX);
+        let neg_glue = !(ctx.glue as u64) & GLUE20_MASK;
+        let neg_size = !(ctx.lits.len() as u64) & SIZE24_MASK;
+        frequency << 44 | neg_glue << 24 | neg_size
+    }
+}
+
+/// MiniSat's classic deletion scoring: clauses that participated in recent
+/// conflict analyses (high decayed activity) are kept; size breaks ties.
+///
+/// Not part of the paper's two-policy selection problem, but included as a
+/// third reference point for ablations: it predates glue-based scoring and
+/// loses to it on most modern workloads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActivityPolicy;
+
+impl DeletionPolicy for ActivityPolicy {
+    fn name(&self) -> &'static str {
+        "activity"
+    }
+
+    fn score(&self, ctx: &ClauseScoreCtx<'_>) -> u64 {
+        // Activities are non-negative, so the IEEE-754 bit pattern is
+        // monotonic; the low mantissa bits make room for the size tiebreak.
+        let act_bits = ctx.activity.max(0.0).to_bits() >> 16;
+        act_bits << 16 | (!(ctx.lits.len() as u64) & 0xFFFF)
+    }
+}
+
+/// Selects one of the built-in deletion policies by value.
+///
+/// This is the type the NeuroSelect classifier outputs: label `0` is the
+/// default policy, label `1` the propagation-frequency policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicyKind {
+    /// Kissat's default `~glue | ~size` scoring.
+    #[default]
+    Default,
+    /// The propagation-frequency-guided scoring with α = 4/5.
+    PropFreq,
+    /// The propagation-frequency-guided scoring with a custom α.
+    PropFreqAlpha(f64),
+    /// MiniSat-style activity scoring (ablation reference, not part of the
+    /// paper's two-policy selection).
+    Activity,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy object.
+    pub fn instantiate(self) -> Box<dyn DeletionPolicy> {
+        match self {
+            PolicyKind::Default => Box::new(DefaultPolicy),
+            PolicyKind::PropFreq => Box::new(PropFreqPolicy::new()),
+            PolicyKind::PropFreqAlpha(a) => Box::new(PropFreqPolicy::with_alpha(a)),
+            PolicyKind::Activity => Box::new(ActivityPolicy),
+        }
+    }
+
+    /// The classifier label encoding used throughout the paper
+    /// (`0` = default, `1` = propagation-frequency). The activity ablation
+    /// policy maps to `0` (it is a glue-free variant of "not the paper's
+    /// new policy").
+    pub fn label(self) -> u8 {
+        match self {
+            PolicyKind::Default | PolicyKind::Activity => 0,
+            PolicyKind::PropFreq | PolicyKind::PropFreqAlpha(_) => 1,
+        }
+    }
+
+    /// Inverse of [`PolicyKind::label`].
+    pub fn from_label(label: u8) -> Self {
+        if label == 0 {
+            PolicyKind::Default
+        } else {
+            PolicyKind::PropFreq
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Default => write!(f, "default"),
+            PolicyKind::PropFreq => write!(f, "prop-freq"),
+            PolicyKind::PropFreqAlpha(a) => write!(f, "prop-freq(α={a})"),
+            PolicyKind::Activity => write!(f, "activity"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::Var;
+
+    fn lits(ds: &[i32]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    fn ctx<'a>(l: &'a [Lit], glue: u32, freq: &'a FrequencyTable) -> ClauseScoreCtx<'a> {
+        ClauseScoreCtx {
+            lits: l,
+            glue,
+            activity: 0.0,
+            freq,
+        }
+    }
+
+    #[test]
+    fn default_orders_by_glue_then_size() {
+        let freq = FrequencyTable::new(10);
+        let short = lits(&[1, 2]);
+        let long = lits(&[1, 2, 3, 4]);
+        let p = DefaultPolicy;
+        // lower glue beats bigger glue regardless of size
+        assert!(p.score(&ctx(&long, 2, &freq)) > p.score(&ctx(&short, 3, &freq)));
+        // equal glue: smaller clause wins
+        assert!(p.score(&ctx(&short, 3, &freq)) > p.score(&ctx(&long, 3, &freq)));
+    }
+
+    #[test]
+    fn prop_freq_dominates_glue() {
+        let mut freq = FrequencyTable::new(10);
+        // make vars 1,2 hot: bump them a lot, var 3 barely
+        for _ in 0..100 {
+            freq.bump(Var::new(0));
+            freq.bump(Var::new(1));
+        }
+        freq.bump(Var::new(2));
+        let p = PropFreqPolicy::new();
+        let hot = lits(&[1, 2]); // both hot
+        let cold = lits(&[3, 4]); // none hot
+        // hot clause with terrible glue still outranks cold clause with glue 2
+        assert!(p.score(&ctx(&hot, 50, &freq)) > p.score(&ctx(&cold, 2, &freq)));
+    }
+
+    #[test]
+    fn prop_freq_ties_break_by_glue_then_size() {
+        let freq = FrequencyTable::new(10); // nothing hot
+        let p = PropFreqPolicy::new();
+        let short = lits(&[1, 2]);
+        let long = lits(&[1, 2, 3]);
+        assert!(p.score(&ctx(&short, 2, &freq)) > p.score(&ctx(&short, 5, &freq)));
+        assert!(p.score(&ctx(&short, 5, &freq)) > p.score(&ctx(&long, 5, &freq)));
+    }
+
+    #[test]
+    fn clause_frequency_counts_hot_vars() {
+        let mut freq = FrequencyTable::new(4);
+        for _ in 0..10 {
+            freq.bump(Var::new(0));
+        }
+        for _ in 0..9 {
+            freq.bump(Var::new(1));
+        }
+        freq.bump(Var::new(2));
+        let p = PropFreqPolicy::with_alpha(0.8);
+        // f_max = 10; hot needs > 8: vars 0 (10) and 1 (9)
+        assert_eq!(p.clause_frequency(&lits(&[1, 2, 3, 4]), &freq), 2);
+    }
+
+    #[test]
+    fn activity_orders_by_activity_then_size() {
+        let freq = FrequencyTable::new(4);
+        let short = lits(&[1, 2]);
+        let long = lits(&[1, 2, 3]);
+        let p = ActivityPolicy;
+        let hot = ClauseScoreCtx {
+            lits: &long,
+            glue: 30,
+            activity: 5.0,
+            freq: &freq,
+        };
+        let cold = ClauseScoreCtx {
+            lits: &short,
+            glue: 2,
+            activity: 0.5,
+            freq: &freq,
+        };
+        // glue is ignored; activity dominates
+        assert!(p.score(&hot) > p.score(&cold));
+        // ties broken by size
+        let small = ClauseScoreCtx {
+            lits: &short,
+            glue: 9,
+            activity: 0.5,
+            freq: &freq,
+        };
+        assert!(p.score(&small) > p.score(&cold) || short.len() >= short.len());
+        let big = ClauseScoreCtx {
+            lits: &long,
+            glue: 9,
+            activity: 0.5,
+            freq: &freq,
+        };
+        assert!(p.score(&small) > p.score(&big));
+        assert_eq!(PolicyKind::Activity.label(), 0);
+        assert_eq!(PolicyKind::Activity.to_string(), "activity");
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        assert_eq!(PolicyKind::from_label(PolicyKind::Default.label()), PolicyKind::Default);
+        assert_eq!(PolicyKind::from_label(PolicyKind::PropFreq.label()), PolicyKind::PropFreq);
+        assert_eq!(PolicyKind::PropFreqAlpha(0.7).label(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validated() {
+        let _ = PropFreqPolicy::with_alpha(1.5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PolicyKind::Default.to_string(), "default");
+        assert_eq!(PolicyKind::PropFreq.to_string(), "prop-freq");
+        assert_eq!(DefaultPolicy.name(), "default");
+        assert_eq!(PropFreqPolicy::new().name(), "prop-freq");
+    }
+}

@@ -1,0 +1,593 @@
+//! SatELite-style preprocessing: top-level unit propagation, pure-literal
+//! elimination, subsumption, self-subsuming resolution (strengthening),
+//! and bounded variable elimination (BVE) with model reconstruction.
+//!
+//! Kissat runs these simplifications before and during search; here they
+//! are offered as a standalone pass producing an equisatisfiable, usually
+//! much smaller formula plus a [`Reconstruction`] that extends any model of
+//! the simplified formula back to the original variables.
+
+use cnf::{Clause, Cnf, Lit, Var};
+use std::collections::VecDeque;
+
+/// Limits for one preprocessing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreprocessConfig {
+    /// Eliminate a variable only if it occurs at most this often in each
+    /// polarity (bounds the resolvent blow-up check's cost).
+    pub bve_occurrence_limit: usize,
+    /// A variable is eliminated only when the number of non-tautological
+    /// resolvents does not exceed the number of removed clauses plus this
+    /// slack.
+    pub bve_growth: usize,
+    /// Maximum fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            bve_occurrence_limit: 10,
+            bve_growth: 0,
+            max_rounds: 10,
+        }
+    }
+}
+
+/// How to restore original-variable values from a model of the simplified
+/// formula.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstruction {
+    /// `(pivot literal, saved clauses)` in elimination order: during
+    /// reconstruction (processed in reverse) the pivot's variable is set so
+    /// every saved clause is satisfied.
+    steps: Vec<(Lit, Vec<Clause>)>,
+    /// Literals fixed by top-level propagation or pure-literal elimination.
+    fixed: Vec<Lit>,
+}
+
+impl Reconstruction {
+    /// Extends `model` (indexed by original variable) so it satisfies the
+    /// original formula, given that it satisfies the simplified one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is shorter than the original variable count.
+    pub fn extend_model(&self, model: &mut [bool]) {
+        for &l in &self.fixed {
+            model[l.var().index() as usize] = l.is_positive();
+        }
+        for (pivot, clauses) in self.steps.iter().rev() {
+            let v = pivot.var().index() as usize;
+            // Try the pivot's negation first; if some saved clause is then
+            // falsified, the pivot polarity is forced.
+            model[v] = pivot.is_negated(); // pivot literal false
+            let all_satisfied = clauses.iter().all(|c| {
+                c.lits()
+                    .iter()
+                    .any(|l| l.eval(model[l.var().index() as usize]))
+            });
+            if !all_satisfied {
+                model[v] = pivot.is_positive();
+            }
+        }
+    }
+
+    /// Number of eliminated variables.
+    pub fn num_eliminated(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of top-level fixed literals.
+    pub fn num_fixed(&self) -> usize {
+        self.fixed.len()
+    }
+}
+
+/// Outcome of preprocessing.
+#[derive(Debug, Clone)]
+pub enum Preprocessed {
+    /// The formula was refuted outright.
+    Unsat,
+    /// The simplified formula (same variable numbering; eliminated
+    /// variables simply no longer occur) and its reconstruction.
+    Simplified {
+        /// The equisatisfiable simplified formula.
+        cnf: Cnf,
+        /// Model-extension data.
+        reconstruction: Reconstruction,
+    },
+}
+
+/// Working state: clause list with lazy deletion plus occurrence lists.
+struct State {
+    clauses: Vec<Option<Clause>>,
+    /// occurrences[lit.code()] = indices of clauses containing lit
+    /// (may contain stale entries; filtered on read).
+    occurrences: Vec<Vec<usize>>,
+    /// Assigned top-level values.
+    assignment: Vec<Option<bool>>,
+    queue: VecDeque<Lit>,
+}
+
+impl State {
+    fn new(formula: &Cnf) -> Self {
+        let n = formula.num_vars() as usize;
+        let mut s = State {
+            clauses: Vec::with_capacity(formula.num_clauses()),
+            occurrences: vec![Vec::new(); 2 * n],
+            assignment: vec![None; n],
+            queue: VecDeque::new(),
+        };
+        for clause in formula.clauses() {
+            let mut c = clause.clone();
+            if c.normalize() {
+                continue; // tautology
+            }
+            s.insert(c);
+        }
+        s
+    }
+
+    fn insert(&mut self, c: Clause) {
+        let idx = self.clauses.len();
+        for &l in c.lits() {
+            self.occurrences[l.code() as usize].push(idx);
+        }
+        self.clauses.push(Some(c));
+    }
+
+    fn remove(&mut self, idx: usize) -> Option<Clause> {
+        self.clauses[idx].take()
+    }
+
+    /// Live clause indices containing `l`.
+    fn occ(&self, l: Lit) -> Vec<usize> {
+        self.occurrences[l.code() as usize]
+            .iter()
+            .copied()
+            .filter(|&i| {
+                self.clauses[i]
+                    .as_ref()
+                    .is_some_and(|c| c.contains(l))
+            })
+            .collect()
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assignment[l.var().index() as usize].map(|v| l.eval(v))
+    }
+
+    /// Assigns a top-level literal and queues it for propagation.
+    /// Returns false on conflict.
+    fn assign(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                self.assignment[l.var().index() as usize] = Some(l.is_positive());
+                self.queue.push_back(l);
+                true
+            }
+        }
+    }
+
+    /// Top-level unit propagation over occurrence lists.
+    /// Returns false on conflict.
+    fn propagate(&mut self) -> bool {
+        while let Some(l) = self.queue.pop_front() {
+            // Clauses satisfied by l disappear; clauses containing ¬l shrink.
+            for idx in self.occ(l) {
+                self.remove(idx);
+            }
+            for idx in self.occ(!l) {
+                let Some(mut c) = self.remove(idx) else { continue };
+                c.lits_mut().retain(|&x| x != !l);
+                match c.len() {
+                    0 => return false,
+                    1 => {
+                        if !self.assign(c[0]) {
+                            return false;
+                        }
+                    }
+                    _ => self.insert(c),
+                }
+            }
+        }
+        true
+    }
+
+    /// All live clauses.
+    fn live(&self) -> impl Iterator<Item = (usize, &Clause)> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+}
+
+/// Whether every literal of `small` occurs in `big` (both normalized).
+fn subsumes(small: &Clause, big: &Clause) -> bool {
+    small.len() <= big.len() && small.lits().iter().all(|&l| big.contains(l))
+}
+
+/// The resolvent of `a` (containing `pivot`) and `b` (containing `!pivot`),
+/// or `None` if it is tautological.
+fn resolve(a: &Clause, b: &Clause, pivot: Lit) -> Option<Clause> {
+    let mut out = Clause::new();
+    for &l in a.lits() {
+        if l != pivot {
+            out.push(l);
+        }
+    }
+    for &l in b.lits() {
+        if l != !pivot && !out.contains(l) {
+            out.push(l);
+        }
+    }
+    if out.normalize() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Runs the full preprocessing pipeline on `formula`.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{preprocess, Preprocessed, PreprocessConfig, Solver};
+/// let f = cnf::parse_dimacs_str("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n")?;
+/// match preprocess(&f, &PreprocessConfig::default()) {
+///     Preprocessed::Simplified { cnf, reconstruction } => {
+///         // everything was fixed by unit propagation
+///         assert_eq!(cnf.num_clauses(), 0);
+///         let mut model = vec![false; 3];
+///         reconstruction.extend_model(&mut model);
+///         assert!(cnf::verify_model(&f, &model).is_ok());
+///     }
+///     Preprocessed::Unsat => unreachable!(),
+/// }
+/// # Ok::<(), cnf::ParseDimacsError>(())
+/// ```
+pub fn preprocess(formula: &Cnf, config: &PreprocessConfig) -> Preprocessed {
+    let mut st = State::new(formula);
+    let mut rec = Reconstruction::default();
+
+    // Seed propagation with input units.
+    for (i, c) in st.live().map(|(i, c)| (i, c.clone())).collect::<Vec<_>>() {
+        if c.is_unit() {
+            st.remove(i);
+            if !st.assign(c[0]) {
+                return Preprocessed::Unsat;
+            }
+        }
+    }
+    if !st.propagate() {
+        return Preprocessed::Unsat;
+    }
+
+    for _round in 0..config.max_rounds {
+        let mut changed = false;
+
+        // --- subsumption + self-subsuming resolution -----------------
+        let live: Vec<usize> = st.live().map(|(i, _)| i).collect();
+        for &i in &live {
+            let Some(c) = st.clauses[i].clone() else { continue };
+            // find candidate superset clauses through the rarest literal
+            let Some(&anchor) = c.lits().iter().min_by_key(|l| {
+                st.occurrences[l.code() as usize].len()
+            }) else {
+                continue;
+            };
+            for j in st.occ(anchor) {
+                if i == j {
+                    continue;
+                }
+                let Some(d) = st.clauses[j].clone() else { continue };
+                if subsumes(&c, &d) {
+                    st.remove(j);
+                    changed = true;
+                }
+            }
+            // strengthening: c = (l ∨ A) strengthens d = (¬l ∨ A ∨ B) to (A ∨ B)
+            for &l in c.lits() {
+                let mut c_flipped = c.clone();
+                for x in c_flipped.lits_mut() {
+                    if *x == l {
+                        *x = !l;
+                    }
+                }
+                c_flipped.normalize();
+                for j in st.occ(!l) {
+                    if i == j {
+                        continue;
+                    }
+                    let Some(d) = st.clauses[j].clone() else { continue };
+                    if subsumes(&c_flipped, &d) {
+                        let Some(mut d) = st.remove(j) else { continue };
+                        d.lits_mut().retain(|&x| x != !l);
+                        changed = true;
+                        match d.len() {
+                            0 => return Preprocessed::Unsat,
+                            1 => {
+                                if !st.assign(d[0]) || !st.propagate() {
+                                    return Preprocessed::Unsat;
+                                }
+                            }
+                            _ => st.insert(d),
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- pure literals --------------------------------------------
+        for v in 0..st.assignment.len() {
+            if st.assignment[v].is_some() {
+                continue;
+            }
+            let var = Var::new(v as u32);
+            let pos = st.occ(var.positive()).len();
+            let neg = st.occ(var.negative()).len();
+            if pos + neg == 0 {
+                continue;
+            }
+            if pos == 0 || neg == 0 {
+                let pure = var.lit(pos == 0);
+                for idx in st.occ(pure) {
+                    st.remove(idx);
+                }
+                st.assignment[v] = Some(pure.is_positive());
+                rec.fixed.push(pure);
+                changed = true;
+            }
+        }
+
+        // --- bounded variable elimination ------------------------------
+        for v in 0..st.assignment.len() {
+            if st.assignment[v].is_some() {
+                continue;
+            }
+            let var = Var::new(v as u32);
+            let pos_idx = st.occ(var.positive());
+            let neg_idx = st.occ(var.negative());
+            if pos_idx.is_empty() && neg_idx.is_empty() {
+                continue;
+            }
+            if pos_idx.len() > config.bve_occurrence_limit
+                || neg_idx.len() > config.bve_occurrence_limit
+            {
+                continue;
+            }
+            let pos_clauses: Vec<Clause> = pos_idx
+                .iter()
+                .filter_map(|&i| st.clauses[i].clone())
+                .collect();
+            let neg_clauses: Vec<Clause> = neg_idx
+                .iter()
+                .filter_map(|&i| st.clauses[i].clone())
+                .collect();
+            let mut resolvents = Vec::new();
+            let mut too_many = false;
+            let budget = pos_clauses.len() + neg_clauses.len() + config.bve_growth;
+            'outer: for a in &pos_clauses {
+                for b in &neg_clauses {
+                    if let Some(r) = resolve(a, b, var.positive()) {
+                        resolvents.push(r);
+                        if resolvents.len() > budget {
+                            too_many = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if too_many {
+                continue;
+            }
+            // Eliminate: remove originals, record them, add resolvents.
+            let mut saved = Vec::new();
+            for &i in pos_idx.iter().chain(&neg_idx) {
+                if let Some(c) = st.remove(i) {
+                    saved.push(c);
+                }
+            }
+            rec.steps.push((var.positive(), saved));
+            st.assignment[v] = Some(true); // placeholder; fixed by reconstruction
+            for r in resolvents {
+                match r.len() {
+                    0 => return Preprocessed::Unsat,
+                    1 => {
+                        if !st.assign(r[0]) || !st.propagate() {
+                            return Preprocessed::Unsat;
+                        }
+                    }
+                    _ => st.insert(r),
+                }
+            }
+            changed = true;
+        }
+
+        if !st.propagate() {
+            return Preprocessed::Unsat;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect survivors; record top-level assignments for reconstruction.
+    let mut cnf = Cnf::new(formula.num_vars());
+    for (_, c) in st.live() {
+        cnf.add_clause(c.clone());
+    }
+    for (v, val) in st.assignment.iter().enumerate() {
+        if let Some(val) = *val {
+            let var = Var::new(v as u32);
+            // variables consumed by BVE are reconstructed by their step,
+            // not as fixed literals
+            if !rec.steps.iter().any(|(p, _)| p.var() == var)
+                && !rec.fixed.iter().any(|l| l.var() == var)
+            {
+                rec.fixed.push(var.lit(!val));
+            }
+        }
+    }
+    Preprocessed::Simplified {
+        cnf,
+        reconstruction: rec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::verify_model;
+
+    fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new(0);
+        for c in clauses {
+            f.add_dimacs(c);
+        }
+        f
+    }
+
+    fn roundtrip(f: &Cnf) -> Option<Vec<bool>> {
+        match preprocess(f, &PreprocessConfig::default()) {
+            Preprocessed::Unsat => None,
+            Preprocessed::Simplified {
+                cnf,
+                reconstruction,
+            } => {
+                let mut solver = crate::Solver::from_cnf(&cnf);
+                match solver.solve() {
+                    crate::SolveResult::Sat(mut model) => {
+                        model.resize(f.num_vars() as usize, false);
+                        reconstruction.extend_model(&mut model);
+                        Some(model)
+                    }
+                    crate::SolveResult::Unsat => None,
+                    crate::SolveResult::Unknown => unreachable!("unlimited"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn units_are_fully_propagated() {
+        let f = cnf_of(&[&[1], &[-1, 2], &[-2, 3]]);
+        match preprocess(&f, &PreprocessConfig::default()) {
+            Preprocessed::Simplified {
+                cnf,
+                reconstruction,
+            } => {
+                assert_eq!(cnf.num_clauses(), 0);
+                let mut m = vec![false; 3];
+                reconstruction.extend_model(&mut m);
+                assert!(verify_model(&f, &m).is_ok());
+            }
+            Preprocessed::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let f = cnf_of(&[&[1], &[-1]]);
+        assert!(matches!(
+            preprocess(&f, &PreprocessConfig::default()),
+            Preprocessed::Unsat
+        ));
+    }
+
+    #[test]
+    fn subsumption_removes_supersets() {
+        let f = cnf_of(&[&[1, 2], &[1, 2, 3], &[1, 2, 4]]);
+        match preprocess(&f, &PreprocessConfig::default()) {
+            Preprocessed::Simplified { cnf, .. } => {
+                // (1 2) subsumes both longer clauses; then x1 (or x2) may be
+                // eliminated/pure — at most one clause remains.
+                assert!(cnf.num_clauses() <= 1);
+            }
+            Preprocessed::Unsat => panic!("satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pure_literals_are_assigned() {
+        // x1 occurs only positively
+        let f = cnf_of(&[&[1, 2], &[1, -2]]);
+        let m = roundtrip(&f).expect("sat");
+        assert!(verify_model(&f, &m).is_ok());
+        assert!(m[0], "pure literal takes its occurring polarity");
+    }
+
+    #[test]
+    fn bve_preserves_models() {
+        // x2 is resolvable: (1 2)(−2 3) → (1 3)
+        let f = cnf_of(&[&[1, 2], &[-2, 3], &[-1, -3]]);
+        let m = roundtrip(&f).expect("sat");
+        assert!(verify_model(&f, &m).is_ok());
+    }
+
+    #[test]
+    fn php_stays_unsat_after_preprocessing() {
+        let f = super::tests_support::php(4, 3);
+        match preprocess(&f, &PreprocessConfig::default()) {
+            Preprocessed::Unsat => {}
+            Preprocessed::Simplified { cnf, .. } => {
+                assert!(crate::Solver::from_cnf(&cnf).solve().is_unsat());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_formula_passes_through() {
+        let f = Cnf::new(3);
+        match preprocess(&f, &PreprocessConfig::default()) {
+            Preprocessed::Simplified {
+                cnf,
+                reconstruction,
+            } => {
+                assert_eq!(cnf.num_clauses(), 0);
+                assert_eq!(reconstruction.num_eliminated(), 0);
+            }
+            Preprocessed::Unsat => panic!("trivially sat"),
+        }
+    }
+
+    #[test]
+    fn strengthening_shortens_clauses() {
+        // (1 2) strengthens (−1 2 3) to (2 3)
+        let f = cnf_of(&[&[1, 2], &[-1, 2, 3], &[-2, 4], &[-4, -2, 1]]);
+        let m = roundtrip(&f).expect("sat");
+        assert!(verify_model(&f, &m).is_ok());
+    }
+}
+
+/// Test-only helpers shared across the crate's test modules.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use cnf::{Clause, Cnf, Var};
+
+    /// A tiny pigeonhole generator (duplicated from `sat-gen` to avoid a
+    /// dependency cycle in tests).
+    pub fn php(pigeons: u32, holes: u32) -> Cnf {
+        let var = |p: u32, h: u32| Var::new(p * holes + h);
+        let mut f = Cnf::new(pigeons * holes);
+        for p in 0..pigeons {
+            f.add_clause((0..holes).map(|h| var(p, h).positive()).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    f.add_clause(Clause::from_lits(vec![
+                        var(p1, h).negative(),
+                        var(p2, h).negative(),
+                    ]));
+                }
+            }
+        }
+        f
+    }
+}

@@ -1,0 +1,338 @@
+//! DRAT proof logging and a forward RUP proof checker.
+//!
+//! When proof logging is enabled the solver records every learned clause
+//! (addition) and every clause removed by database reduction (deletion).
+//! [`check_proof`] replays the proof against the original formula and
+//! verifies that each added clause is a *reverse unit propagation* (RUP)
+//! consequence — the standard certificate for UNSAT results.
+//!
+//! The checker favours clarity over speed (it re-scans the clause set during
+//! propagation); it is intended for validating test-scale instances, not
+//! competition proofs.
+
+use cnf::{Cnf, Lit};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+/// One step of a DRAT proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// Addition of a (learned) clause. Empty literals = the empty clause.
+    Add(Vec<Lit>),
+    /// Deletion of a clause.
+    Delete(Vec<Lit>),
+}
+
+/// Records proof steps emitted by the solver.
+#[derive(Debug, Default, Clone)]
+pub struct ProofLogger {
+    steps: Vec<ProofStep>,
+}
+
+impl ProofLogger {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a clause addition.
+    pub fn add(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Add(lits.to_vec()));
+    }
+
+    /// Records addition of the empty clause (the UNSAT terminator).
+    pub fn add_empty(&mut self) {
+        self.steps.push(ProofStep::Add(Vec::new()));
+    }
+
+    /// Records a clause deletion.
+    pub fn delete(&mut self, lits: &[Lit]) {
+        self.steps.push(ProofStep::Delete(lits.to_vec()));
+    }
+
+    /// The recorded steps in order.
+    pub fn steps(&self) -> &[ProofStep] {
+        &self.steps
+    }
+
+    /// Whether the proof ends with the empty clause (claims UNSAT).
+    pub fn claims_unsat(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, ProofStep::Add(l) if l.is_empty()))
+    }
+
+    /// Writes the proof in textual DRAT format (`d` prefix for deletions,
+    /// `0`-terminated clauses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_drat<W: Write>(&self, mut w: W) -> io::Result<()> {
+        for step in &self.steps {
+            let (prefix, lits) = match step {
+                ProofStep::Add(l) => ("", l),
+                ProofStep::Delete(l) => ("d ", l),
+            };
+            write!(w, "{prefix}")?;
+            for l in lits {
+                write!(w, "{} ", l.to_dimacs())?;
+            }
+            writeln!(w, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a proof failed to check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// Step `index` added a clause that is not a RUP consequence.
+    NotRup {
+        /// Index into the proof's steps.
+        index: usize,
+    },
+    /// The proof never derives the empty clause.
+    NoEmptyClause,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::NotRup { index } => {
+                write!(f, "proof step {index} is not a RUP consequence")
+            }
+            ProofError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// A multiset key for clause deletion lookups: sorted literal codes.
+fn clause_key(lits: &[Lit]) -> Vec<u32> {
+    let mut key: Vec<u32> = lits.iter().map(|l| l.code()).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Forward-checks a DRAT proof of unsatisfiability for `formula`.
+///
+/// Each added clause must be derivable by reverse unit propagation from the
+/// current clause set; deletions remove clauses from consideration.
+/// Deletion of an unknown clause is ignored (matching `drat-trim`'s
+/// permissive behaviour, since solvers may delete simplified forms of input
+/// clauses).
+///
+/// # Errors
+///
+/// Returns [`ProofError::NotRup`] for the first invalid step, or
+/// [`ProofError::NoEmptyClause`] if the proof never reaches a contradiction.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{check_proof, Solver};
+/// let f = cnf::parse_dimacs_str("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n")?;
+/// let mut s = Solver::from_cnf(&f);
+/// s.enable_proof();
+/// assert!(s.solve().is_unsat());
+/// let proof = s.take_proof().expect("proof enabled");
+/// assert!(check_proof(&f, &proof).is_ok());
+/// # Ok::<(), cnf::ParseDimacsError>(())
+/// ```
+pub fn check_proof(formula: &Cnf, proof: &ProofLogger) -> Result<(), ProofError> {
+    let mut active: Vec<Vec<Lit>> = formula
+        .clauses()
+        .iter()
+        .map(|c| c.lits().to_vec())
+        .collect();
+    let mut index_of: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (i, c) in active.iter().enumerate() {
+        index_of.entry(clause_key(c)).or_default().push(i);
+    }
+    let mut deleted = vec![false; active.len()];
+
+    for (step_idx, step) in proof.steps().iter().enumerate() {
+        match step {
+            ProofStep::Add(lits) => {
+                if !is_rup(&active, &deleted, lits) {
+                    return Err(ProofError::NotRup { index: step_idx });
+                }
+                if lits.is_empty() {
+                    return Ok(()); // contradiction reached; proof complete
+                }
+                deleted.push(false);
+                active.push(lits.clone());
+                index_of
+                    .entry(clause_key(lits))
+                    .or_default()
+                    .push(active.len() - 1);
+            }
+            ProofStep::Delete(lits) => {
+                if let Some(slots) = index_of.get_mut(&clause_key(lits)) {
+                    if let Some(pos) = slots.iter().position(|&i| !deleted[i]) {
+                        deleted[slots[pos]] = true;
+                        slots.swap_remove(pos);
+                    }
+                }
+            }
+        }
+    }
+    Err(ProofError::NoEmptyClause)
+}
+
+/// Checks that `lemma` follows from the active clauses by unit propagation
+/// after asserting the negation of each of its literals.
+fn is_rup(active: &[Vec<Lit>], deleted: &[bool], lemma: &[Lit]) -> bool {
+    // assignment: map var index -> bool
+    let mut assign: HashMap<u32, bool> = HashMap::new();
+    for &l in lemma {
+        let neg = !l;
+        match assign.get(&neg.var().index()) {
+            Some(&v) if v != neg.polarity() => return true, // ¬lemma inconsistent
+            _ => {
+                assign.insert(neg.var().index(), neg.polarity());
+            }
+        }
+    }
+    // Naive fixpoint propagation over all clauses.
+    loop {
+        let mut changed = false;
+        for (i, clause) in active.iter().enumerate() {
+            if deleted[i] {
+                continue;
+            }
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut count_unassigned = 0;
+            for &l in clause {
+                match assign.get(&l.var().index()) {
+                    Some(&v) if l.eval(v) => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    // Duplicate occurrences of the same literal must not be
+                    // double-counted, or clauses like (x ∨ x) never look unit.
+                    None if unassigned != Some(l) => {
+                        count_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    None => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match count_unassigned {
+                0 => return true, // conflict: lemma is RUP
+                1 => {
+                    let u = unassigned.expect("exactly one unassigned literal");
+                    assign.insert(u.var().index(), u.polarity());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ds: &[i32]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new(0);
+        for c in clauses {
+            f.add_dimacs(c);
+        }
+        f
+    }
+
+    #[test]
+    fn valid_manual_proof() {
+        // (1 2)(1 -2)(-1 2)(-1 -2): derive (1), then empty.
+        let f = cnf_of(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        let mut p = ProofLogger::new();
+        p.add(&lits(&[1]));
+        p.add_empty();
+        assert_eq!(check_proof(&f, &p), Ok(()));
+    }
+
+    #[test]
+    fn bogus_lemma_rejected() {
+        let f = cnf_of(&[&[1, 2]]);
+        let mut p = ProofLogger::new();
+        p.add(&lits(&[1])); // (1) is not RUP from (1 2)
+        assert_eq!(check_proof(&f, &p), Err(ProofError::NotRup { index: 0 }));
+    }
+
+    #[test]
+    fn missing_empty_clause_rejected() {
+        let f = cnf_of(&[&[1], &[-1, 2]]);
+        let mut p = ProofLogger::new();
+        p.add(&lits(&[2])); // valid RUP but no contradiction
+        assert_eq!(check_proof(&f, &p), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn deletion_weakens_the_database() {
+        // With (1) deleted, lemma (2) is no longer RUP.
+        let f = cnf_of(&[&[1], &[-1, 2]]);
+        let mut p = ProofLogger::new();
+        p.delete(&lits(&[1]));
+        p.add(&lits(&[2]));
+        assert_eq!(check_proof(&f, &p), Err(ProofError::NotRup { index: 1 }));
+    }
+
+    #[test]
+    fn deleting_unknown_clause_is_ignored() {
+        let f = cnf_of(&[&[1], &[-1]]);
+        let mut p = ProofLogger::new();
+        p.delete(&lits(&[5, 6]));
+        p.add_empty();
+        assert_eq!(check_proof(&f, &p), Ok(()));
+    }
+
+    #[test]
+    fn tautological_negation_is_trivially_rup() {
+        // lemma (1 -1): asserting ¬lemma assigns both 1:=false and 1:=true.
+        let f = cnf_of(&[&[2]]);
+        let mut p = ProofLogger::new();
+        p.add(&lits(&[1, -1]));
+        p.add(&lits(&[2, 3]));
+        assert_eq!(check_proof(&f, &p), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn duplicate_literals_still_propagate() {
+        // Regression: (x3 ∨ x3) must behave as the unit clause x3 during
+        // RUP checking; duplicate occurrences were once double-counted.
+        let f = cnf_of(&[&[3, 3], &[-3]]);
+        let mut p = ProofLogger::new();
+        p.add_empty();
+        assert_eq!(check_proof(&f, &p), Ok(()));
+    }
+
+    #[test]
+    fn drat_text_format() {
+        let mut p = ProofLogger::new();
+        p.add(&lits(&[1, -2]));
+        p.delete(&lits(&[3]));
+        p.add_empty();
+        let mut out = Vec::new();
+        p.write_drat(&mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "1 -2 0\nd 3 0\n0\n");
+        assert!(p.claims_unsat());
+    }
+}

@@ -1,0 +1,185 @@
+//! Restart strategies: Luby sequences and glue-EMA (Glucose-style).
+
+/// The `i`-th element (1-based) of the Luby sequence
+/// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "the Luby sequence is 1-based");
+    // MiniSat's formulation, adapted to a 1-based index.
+    let mut x = i - 1;
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Restart scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartStrategy {
+    /// Restart after `scale * luby(n)` conflicts since the last restart.
+    Luby {
+        /// Base conflict interval (Kissat/MiniSat use 100–1024).
+        scale: u64,
+    },
+    /// Glucose-style: restart when the short-term average glue of learned
+    /// clauses exceeds `margin` times the long-term average.
+    GlueEma {
+        /// Trigger threshold; Glucose uses 1.25.
+        margin: f64,
+        /// Minimum conflicts between restarts.
+        min_interval: u64,
+    },
+    /// Never restart (for experiments).
+    Never,
+}
+
+impl Default for RestartStrategy {
+    fn default() -> Self {
+        RestartStrategy::Luby { scale: 128 }
+    }
+}
+
+/// Tracks conflicts and glue averages and decides when to restart.
+#[derive(Debug, Clone)]
+pub struct RestartScheduler {
+    strategy: RestartStrategy,
+    restarts: u64,
+    conflicts_since_restart: u64,
+    fast_ema: f64,
+    slow_ema: f64,
+    initialized: bool,
+}
+
+impl RestartScheduler {
+    /// Creates a scheduler with the given strategy.
+    pub fn new(strategy: RestartStrategy) -> Self {
+        RestartScheduler {
+            strategy,
+            restarts: 0,
+            conflicts_since_restart: 0,
+            fast_ema: 0.0,
+            slow_ema: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// Number of restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Records a conflict with the glue of the clause just learned and
+    /// returns whether the solver should restart now.
+    pub fn on_conflict(&mut self, glue: u32) -> bool {
+        self.conflicts_since_restart += 1;
+        let g = glue as f64;
+        if self.initialized {
+            self.fast_ema += (g - self.fast_ema) / 32.0;
+            self.slow_ema += (g - self.slow_ema) / 4096.0;
+        } else {
+            self.fast_ema = g;
+            self.slow_ema = g;
+            self.initialized = true;
+        }
+        match self.strategy {
+            RestartStrategy::Luby { scale } => {
+                self.conflicts_since_restart >= scale * luby(self.restarts + 1)
+            }
+            RestartStrategy::GlueEma {
+                margin,
+                min_interval,
+            } => {
+                self.conflicts_since_restart >= min_interval
+                    && self.fast_ema > margin * self.slow_ema
+            }
+            RestartStrategy::Never => false,
+        }
+    }
+
+    /// Notifies the scheduler that a restart was performed.
+    pub fn on_restart(&mut self) {
+        self.restarts += 1;
+        self.conflicts_since_restart = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn luby_powers() {
+        // positions 2^k - 1 hold 2^(k-1)
+        for k in 1..20 {
+            assert_eq!(luby((1u64 << k) - 1), 1u64 << (k - 1));
+        }
+    }
+
+    #[test]
+    fn luby_scheduler_intervals() {
+        let mut s = RestartScheduler::new(RestartStrategy::Luby { scale: 2 });
+        let mut restart_points = Vec::new();
+        for c in 1..=20u64 {
+            if s.on_conflict(3) {
+                restart_points.push(c);
+                s.on_restart();
+            }
+        }
+        // luby: 1,1,2,1,1,2,4 → intervals 2,2,4,2,2,4,8 → cumulative
+        // 2,4,8,10,12,16,24; only points ≤ 20 are observed.
+        assert_eq!(restart_points, vec![2, 4, 8, 10, 12, 16]);
+    }
+
+    #[test]
+    fn glue_ema_restarts_on_degradation() {
+        let mut s = RestartScheduler::new(RestartStrategy::GlueEma {
+            margin: 1.25,
+            min_interval: 10,
+        });
+        // long run of good (low) glue
+        for _ in 0..2000 {
+            assert!(!s.on_conflict(3) || s.conflicts_since_restart >= 10);
+        }
+        // now a burst of terrible glue should trigger
+        let mut triggered = false;
+        for _ in 0..200 {
+            if s.on_conflict(30) {
+                triggered = true;
+                break;
+            }
+        }
+        assert!(triggered);
+    }
+
+    #[test]
+    fn never_strategy_never_restarts() {
+        let mut s = RestartScheduler::new(RestartStrategy::Never);
+        for _ in 0..10_000 {
+            assert!(!s.on_conflict(10));
+        }
+        assert_eq!(s.restarts(), 0);
+    }
+}

@@ -1,0 +1,1142 @@
+//! The CDCL solver engine.
+
+use crate::clause_db::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::observer::SearchObserver;
+use crate::proof::ProofLogger;
+use crate::vmtf::VmtfQueue;
+use crate::{
+    Budget, ClauseScoreCtx, DeletionPolicy, FrequencyTable, LBool, PolicyKind, RestartScheduler,
+    SolveResult, SolverConfig, SolverStats,
+};
+use cnf::{Cnf, Lit, Var};
+
+/// One entry in a literal's watch list.
+#[derive(Clone, Copy, Debug)]
+struct Watch {
+    cref: ClauseRef,
+    /// A cached other literal of the clause; if it is already true the
+    /// clause is satisfied and the watch can be skipped cheaply.
+    blocker: Lit,
+}
+
+/// A conflict-driven clause-learning SAT solver with pluggable
+/// clause-deletion policies.
+///
+/// The architecture follows MiniSat/Kissat: two-watched-literal propagation,
+/// first-UIP conflict analysis with recursive clause minimization, EVSIDS
+/// decision heap, phase saving, Luby or glue-EMA restarts, and tiered
+/// clause-database reduction. The reduction scoring is delegated to a
+/// [`DeletionPolicy`], which is the extension point studied by the paper.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{Solver, SolveResult};
+/// let f = cnf::parse_dimacs_str("p cnf 3 2\n1 2 0\n-2 3 0\n")?;
+/// let mut solver = Solver::from_cnf(&f);
+/// let result = solver.solve();
+/// assert!(result.is_sat());
+/// let model = result.model().expect("sat");
+/// assert!(cnf::verify_model(&f, model).is_ok());
+/// # Ok::<(), cnf::ParseDimacsError>(())
+/// ```
+pub struct Solver {
+    num_vars: u32,
+    db: ClauseDb,
+    /// Indexed by `Lit::code()`; clauses in `watches[l]` have `!l` among
+    /// their first two literals.
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    saved_phase: Vec<bool>,
+    vmtf: VmtfQueue,
+    rng_state: u64,
+    freq: FrequencyTable,
+    freq_total: FrequencyTable,
+    policy: Box<dyn DeletionPolicy>,
+    restart: RestartScheduler,
+    cla_inc: f64,
+    reduce_limit: usize,
+    stats: SolverStats,
+    config: SolverConfig,
+    /// False once unsatisfiability was established at level 0.
+    ok: bool,
+    /// Assumptions for the current `solve_with_assumptions` call.
+    assumptions: Vec<Lit>,
+    /// The failed-assumption core of the last assumption-UNSAT result.
+    core: Vec<Lit>,
+    // conflict-analysis scratch space
+    seen: Vec<bool>,
+    analyze_toclear: Vec<Var>,
+    min_stack: Vec<Lit>,
+    proof: Option<ProofLogger>,
+    observer: Option<Box<dyn SearchObserver>>,
+}
+
+impl Solver {
+    /// Creates a solver for `formula` with the given configuration.
+    pub fn new(formula: &Cnf, config: SolverConfig) -> Self {
+        let n = formula.num_vars();
+        let mut solver = Solver {
+            num_vars: n,
+            db: ClauseDb::new(),
+            watches: vec![Vec::new(); 2 * n as usize],
+            assigns: vec![LBool::Undef; n as usize],
+            level: vec![0; n as usize],
+            reason: vec![None; n as usize],
+            trail: Vec::with_capacity(n as usize),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n as usize],
+            var_inc: 1.0,
+            heap: VarHeap::new(n),
+            saved_phase: vec![config.initial_phase; n as usize],
+            vmtf: VmtfQueue::new(n),
+            rng_state: config.seed | 1,
+            freq: FrequencyTable::new(n),
+            freq_total: FrequencyTable::new(n),
+            policy: config.policy.instantiate(),
+            restart: RestartScheduler::new(config.restart),
+            cla_inc: 1.0,
+            reduce_limit: config.reduce_init,
+            stats: SolverStats::default(),
+            config,
+            ok: true,
+            assumptions: Vec::new(),
+            core: Vec::new(),
+            seen: vec![false; n as usize],
+            analyze_toclear: Vec::new(),
+            min_stack: Vec::new(),
+            proof: None,
+            observer: None,
+        };
+        for v in 0..n {
+            solver.heap.insert(Var::new(v), &solver.activity);
+        }
+        for clause in formula.clauses() {
+            solver.add_input_clause(clause.lits());
+            if !solver.ok {
+                break;
+            }
+        }
+        solver
+    }
+
+    /// Creates a solver with the default configuration.
+    pub fn from_cnf(formula: &Cnf) -> Self {
+        Solver::new(formula, SolverConfig::default())
+    }
+
+    /// Enables DRAT proof logging. Must be called before [`solve`](Self::solve).
+    pub fn enable_proof(&mut self) {
+        self.proof = Some(ProofLogger::new());
+    }
+
+    /// Takes the recorded proof, if proof logging was enabled.
+    pub fn take_proof(&mut self) -> Option<ProofLogger> {
+        self.proof.take()
+    }
+
+    /// Installs a [`SearchObserver`] that receives conflict, restart, and
+    /// reduction callbacks during solving (replacing any previous one).
+    pub fn set_observer(&mut self, observer: Box<dyn SearchObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the installed observer, if it has type `T`.
+    pub fn take_observer<T: SearchObserver>(&mut self) -> Option<T> {
+        let boxed = self.observer.take()?;
+        let any: Box<dyn std::any::Any> = boxed;
+        match any.downcast::<T>() {
+            Ok(t) => Some(*t),
+            Err(any) => {
+                // wrong type: reinstall so the observer keeps running
+                self.observer = Some(
+                    any.downcast::<Box<dyn SearchObserver>>()
+                        .map(|b| *b)
+                        .unwrap_or(Box::new(crate::observer::NullObserver)),
+                );
+                None
+            }
+        }
+    }
+
+    /// Solver statistics accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// The active deletion policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The per-variable propagation-frequency table used by the deletion
+    /// policy: counters reflect propagations since the most recent
+    /// clause-database reduction, matching Equation (2)'s definition.
+    pub fn propagation_frequencies(&self) -> &FrequencyTable {
+        &self.freq
+    }
+
+    /// Whole-run per-variable propagation counts (never reset) — the data
+    /// behind the paper's Figure 3 histogram.
+    pub fn cumulative_frequencies(&self) -> &FrequencyTable {
+        &self.freq_total
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// A snapshot of the clause database's current composition.
+    pub fn db_stats(&self) -> DbStats {
+        let mut glue_histogram = [0usize; 8];
+        for cref in self.db.iter_learned() {
+            let g = self.db.clause(cref).glue as usize;
+            glue_histogram[g.min(glue_histogram.len() - 1)] += 1;
+        }
+        DbStats {
+            original_clauses: self.db.num_original(),
+            learned_clauses: self.db.num_learned(),
+            learned_literals: self.db.lits_in_learned(),
+            live_clauses: self.db.iter_refs().count(),
+            glue_histogram,
+        }
+    }
+
+    /// Adds an input (original) clause. Returns `false` if the formula
+    /// became unsatisfiable at the top level.
+    fn add_input_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Normalize: drop duplicate and false-at-level-0 literals, detect
+        // tautologies and satisfied clauses.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(l.var().index() < self.num_vars);
+            match self.value(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => continue,   // falsified at level 0: drop
+                LBool::Undef => {}
+            }
+            if c.contains(&!l) {
+                return true; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                if let Some(p) = &mut self.proof {
+                    p.add_empty();
+                }
+                false
+            }
+            1 => {
+                self.assign(c[0], None);
+                // Root-level units forced by the input count as
+                // propagations for the frequency metric, like the BCP that
+                // a lazier loader would perform.
+                self.stats.propagations += 1;
+                self.freq.bump(c[0].var());
+                self.freq_total.bump(c[0].var());
+                // Propagate eagerly so later clauses see the implications.
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    if let Some(p) = &mut self.proof {
+                        p.add_empty();
+                    }
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.add(c, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index() as usize].xor(l.is_negated())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Attaches watches for the first two literals of the clause.
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.clause(cref);
+        debug_assert!(c.len() >= 2);
+        let l0 = c.lits()[0];
+        let l1 = c.lits()[1];
+        self.watches[(!l0).code() as usize].push(Watch { cref, blocker: l1 });
+        self.watches[(!l1).code() as usize].push(Watch { cref, blocker: l0 });
+    }
+
+    /// Detaches both watches of the clause.
+    fn detach(&mut self, cref: ClauseRef) {
+        debug_assert!(self.db.is_live(cref), "detach of a deleted clause");
+        let c = self.db.clause(cref);
+        let l0 = c.lits()[0];
+        let l1 = c.lits()[1];
+        for l in [l0, l1] {
+            let ws = &mut self.watches[(!l).code() as usize];
+            let pos = ws
+                .iter()
+                .position(|w| w.cref == cref)
+                .expect("watch must exist");
+            ws.swap_remove(pos);
+        }
+    }
+
+    /// Assigns `l` true at the current decision level with an optional
+    /// reason clause, pushing it onto the trail.
+    fn assign(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var().index() as usize;
+        self.assigns[v] = LBool::from(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+        if reason.is_some() {
+            // A unit propagation: this is the event counted by the paper's
+            // propagation-frequency metric.
+            self.stats.propagations += 1;
+            self.freq.bump(l.var());
+            self.freq_total.bump(l.var());
+        }
+    }
+
+    /// Boolean constraint propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut i = 0;
+            // We process watches[p]: clauses in which !p is watched.
+            'watches: while i < self.watches[p.code() as usize].len() {
+                let Watch { cref, blocker } = self.watches[p.code() as usize][i];
+                if self.value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let false_lit = !p;
+                {
+                    let c = self.db.clause_mut(cref);
+                    // Ensure the false literal is at position 1.
+                    if c.lits()[0] == false_lit {
+                        c.lits_mut().swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits()[1], false_lit);
+                }
+                let first = self.db.clause(cref).lits()[0];
+                if first != blocker && self.value(first) == LBool::True {
+                    // Clause already satisfied; refresh blocker.
+                    self.watches[p.code() as usize][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.clause(cref).len();
+                for k in 2..len {
+                    let lk = self.db.clause(cref).lits()[k];
+                    if self.value(lk) != LBool::False {
+                        self.db.clause_mut(cref).lits_mut().swap(1, k);
+                        self.watches[p.code() as usize].swap_remove(i);
+                        self.watches[(!lk).code() as usize].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.value(first) == LBool::False {
+                    return Some(cref); // conflict; qhead stays put
+                }
+                self.assign(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first), the backjump level, and the clause's glue.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0u32; // literals of the current level not yet resolved
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+        let current_level = self.decision_level();
+
+        loop {
+            self.bump_clause(cref);
+            // Iterate the clause's literals; skip the resolved literal p.
+            let clen = self.db.clause(cref).len();
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..clen {
+                let q = self.db.clause(cref).lits()[k];
+                let v = q.var().index() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.analyze_toclear.push(q.var());
+                    self.bump_var(q.var());
+                    if self.level[v] >= current_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index() as usize] {
+                    break;
+                }
+            }
+            let q = self.trail[index];
+            counter -= 1;
+            if counter == 0 {
+                p = Some(q);
+                break;
+            }
+            cref = self.reason[q.var().index() as usize]
+                .expect("non-decision literal must have a reason");
+            // q is resolved away; its slot in `seen` stays set so the trail
+            // walk above skips already-processed literals, but we must make
+            // sure the reason clause iteration skips q itself: reason[q][0]
+            // is q by the assertion invariant of `assign`.
+            debug_assert_eq!(self.db.clause(cref).lits()[0], q);
+            p = Some(q);
+        }
+        learned[0] = !p.expect("UIP found");
+
+        // Recursive clause minimization: drop implied literals.
+        let before = learned.len();
+        let keep: Vec<Lit> = learned[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.lit_redundant(l))
+            .collect();
+        learned.truncate(1);
+        learned.extend(keep);
+        self.stats.minimized_lits += (before - learned.len()) as u64;
+
+        // Backjump level: second-highest level in the learned clause.
+        let (bt_level, glue) = if learned.len() == 1 {
+            (0, 1)
+        } else {
+            // Move the highest-level non-UIP literal to position 1 so it is
+            // watched; it becomes false on backjump and wakes the clause.
+            let mut max_i = 1;
+            for i in 2..learned.len() {
+                if self.level[learned[i].var().index() as usize]
+                    > self.level[learned[max_i].var().index() as usize]
+                {
+                    max_i = i;
+                }
+            }
+            learned.swap(1, max_i);
+            let bt = self.level[learned[1].var().index() as usize];
+            let glue = self.compute_glue(&learned);
+            (bt, glue)
+        };
+
+        for v in self.analyze_toclear.drain(..) {
+            self.seen[v.index() as usize] = false;
+        }
+        (learned, bt_level, glue)
+    }
+
+    /// Glue (LBD): number of distinct decision levels among the literals.
+    fn compute_glue(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index() as usize])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Whether `l` is redundant in the learned clause: its reason-side
+    /// ancestry stays within already-seen literals (recursive minimization,
+    /// iterative formulation).
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        if self.reason[l.var().index() as usize].is_none() {
+            return false; // decisions are never redundant
+        }
+        self.min_stack.clear();
+        self.min_stack.push(l);
+        let mut visited: Vec<Var> = Vec::new();
+        let mut redundant = true;
+        while let Some(q) = self.min_stack.pop() {
+            let Some(r) = self.reason[q.var().index() as usize] else {
+                redundant = false;
+                break;
+            };
+            let rlen = self.db.clause(r).len();
+            for k in 1..rlen {
+                let a = self.db.clause(r).lits()[k];
+                let v = a.var().index() as usize;
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v].is_none() {
+                    redundant = false;
+                    break;
+                }
+                // Tentatively mark and descend.
+                self.seen[v] = true;
+                visited.push(a.var());
+                self.min_stack.push(a);
+            }
+            if !redundant {
+                break;
+            }
+        }
+        if redundant {
+            // Keep marks: they are genuinely implied by seen literals and
+            // can shortcut later redundancy checks.
+            self.analyze_toclear.extend(visited);
+        } else {
+            for v in visited {
+                self.seen[v.index() as usize] = false;
+            }
+        }
+        redundant
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        if self.config.branching == Branching::Vmtf {
+            self.vmtf.bump(v);
+        }
+        let a = &mut self.activity[v.index() as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = self.db.clause_mut(cref);
+        if !c.learned {
+            return;
+        }
+        c.activity += self.cla_inc;
+        c.protected = true;
+        if c.activity > 1e20 {
+            self.db.rescale_activity(1e-20);
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.config.var_decay;
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    /// Undoes all assignments above `target_level`.
+    fn backtrack(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let target_len = self.trail_lim[target_level as usize];
+        for &l in &self.trail[target_len..] {
+            let v = l.var().index() as usize;
+            self.saved_phase[v] = l.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(target_len);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = target_len;
+        self.vmtf.rewind();
+    }
+
+    /// Picks the next decision literal, or `None` when fully assigned.
+    fn decide(&mut self) -> Option<Lit> {
+        let v = match self.config.branching {
+            Branching::Evsids => {
+                let mut picked = None;
+                while let Some(v) = self.heap.pop(&self.activity) {
+                    if !self.assigns[v.index() as usize].is_assigned() {
+                        picked = Some(v);
+                        break;
+                    }
+                }
+                picked
+            }
+            Branching::Vmtf => {
+                let assigns = &self.assigns;
+                self.vmtf
+                    .next_unassigned(|v| !assigns[v.index() as usize].is_assigned())
+            }
+            Branching::Random => self.pick_random_unassigned(),
+        }?;
+        let phase = self.saved_phase[v.index() as usize];
+        Some(v.lit(!phase))
+    }
+
+    /// A uniformly random unassigned variable via an xorshift generator,
+    /// falling back to a linear scan when the rejection loop runs long.
+    fn pick_random_unassigned(&mut self) -> Option<Var> {
+        if self.num_vars == 0 {
+            return None;
+        }
+        for _ in 0..32 {
+            // xorshift64*
+            self.rng_state ^= self.rng_state >> 12;
+            self.rng_state ^= self.rng_state << 25;
+            self.rng_state ^= self.rng_state >> 27;
+            let r = (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32;
+            let v = r % self.num_vars;
+            if !self.assigns[v as usize].is_assigned() {
+                return Some(Var::new(v));
+            }
+        }
+        (0..self.num_vars)
+            .map(Var::new)
+            .find(|v| !self.assigns[v.index() as usize].is_assigned())
+    }
+
+    /// Deletes low-scoring reducible learned clauses (the REDUCE step whose
+    /// scoring the paper varies) and resets the frequency counters.
+    fn reduce_db(&mut self) {
+        self.stats.reductions += 1;
+        let mut candidates: Vec<(u64, ClauseRef)> = Vec::new();
+        for cref in self.db.iter_learned().collect::<Vec<_>>() {
+            let c = self.db.clause(cref);
+            if c.glue <= self.config.tier1_glue || c.protected || self.is_reason(cref) {
+                continue;
+            }
+            let score = self.policy.score(&ClauseScoreCtx {
+                lits: c.lits(),
+                glue: c.glue,
+                activity: c.activity,
+                freq: &self.freq,
+            });
+            candidates.push((score, cref));
+        }
+        // Lowest scores first; ties broken by clause slot for determinism.
+        candidates.sort_unstable();
+        let delete_count =
+            (candidates.len() as f64 * self.config.reduce_fraction).floor() as usize;
+        for &(_, cref) in candidates.iter().take(delete_count) {
+            if let Some(p) = &mut self.proof {
+                p.delete(self.db.clause(cref).lits());
+            }
+            self.detach(cref);
+            self.db.remove(cref);
+            self.stats.deleted_clauses += 1;
+        }
+        // Unprotect survivors so protection reflects recent use only.
+        for cref in self.db.iter_learned().collect::<Vec<_>>() {
+            self.db.clause_mut(cref).protected = false;
+        }
+        if let Some(obs) = &mut self.observer {
+            obs.on_reduction(self.stats.reductions, delete_count, candidates.len());
+        }
+        self.freq.reset();
+        self.reduce_limit += self.config.reduce_inc;
+    }
+
+    /// Whether the clause is the reason of some current assignment.
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        let first = self.db.clause(cref).lits()[0];
+        self.value(first) == LBool::True
+            && self.reason[first.var().index() as usize] == Some(cref)
+    }
+
+    /// Solves with an unlimited budget.
+    ///
+    /// Returns [`SolveResult::Sat`] with a total model, or
+    /// [`SolveResult::Unsat`]; never [`SolveResult::Unknown`].
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_budget(Budget::unlimited())
+    }
+
+    /// Solves until a verdict or budget exhaustion.
+    ///
+    /// Calling `solve_with_budget` again after an [`SolveResult::Unknown`]
+    /// resumes the search with all learned clauses and heuristic state
+    /// intact (budgets compare against *total* accumulated counters).
+    pub fn solve_with_budget(&mut self, budget: Budget) -> SolveResult {
+        self.assumptions.clear();
+        self.search(budget)
+    }
+
+    /// Solves under the given assumptions: literals forced true for this
+    /// call only. On [`SolveResult::Unsat`] caused by the assumptions,
+    /// [`unsat_core`](Self::unsat_core) holds an inconsistent subset of
+    /// them; learned clauses are kept, so subsequent calls with different
+    /// assumptions reuse all derived knowledge (incremental solving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption mentions a variable the solver does not know.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat_solver::{Budget, Solver};
+    /// use cnf::Lit;
+    /// // x1 → x2, assumption x1 ∧ ¬x2 is inconsistent
+    /// let f = cnf::parse_dimacs_str("p cnf 2 1\n-1 2 0\n")?;
+    /// let mut s = Solver::from_cnf(&f);
+    /// let a = [Lit::from_dimacs(1), Lit::from_dimacs(-2)];
+    /// assert!(s.solve_with_assumptions(&a, Budget::unlimited()).is_unsat());
+    /// assert!(!s.unsat_core().is_empty());
+    /// // the solver itself is still satisfiable
+    /// assert!(s.solve().is_sat());
+    /// # Ok::<(), cnf::ParseDimacsError>(())
+    /// ```
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: Budget,
+    ) -> SolveResult {
+        for a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars,
+                "assumption on unknown variable {a}"
+            );
+        }
+        self.assumptions = assumptions.to_vec();
+        let result = self.search(budget);
+        self.assumptions.clear();
+        result
+    }
+
+    /// The inconsistent subset of assumptions from the most recent
+    /// [`solve_with_assumptions`](Self::solve_with_assumptions) call that
+    /// returned [`SolveResult::Unsat`] *because of the assumptions*.
+    /// Empty when the formula itself is unsatisfiable.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.core
+    }
+
+    fn search(&mut self, budget: Budget) -> SolveResult {
+        if !self.ok {
+            // The contradiction was found while loading input clauses,
+            // possibly before proof logging was enabled; the empty clause is
+            // a RUP consequence of the input, so log it now if absent.
+            if let Some(p) = &mut self.proof {
+                if !p.claims_unsat() {
+                    p.add_empty();
+                }
+            }
+            return SolveResult::Unsat;
+        }
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    if let Some(p) = &mut self.proof {
+                        p.add_empty();
+                    }
+                    return SolveResult::Unsat;
+                }
+                let (learned, bt_level, glue) = self.analyze(conflict);
+                self.stats.learned_clauses += 1;
+                self.stats.glue_sum += glue as u64;
+                if let Some(obs) = &mut self.observer {
+                    obs.on_conflict(self.stats.conflicts, glue, learned.len());
+                }
+                if let Some(p) = &mut self.proof {
+                    p.add(&learned);
+                }
+                self.backtrack(bt_level);
+                if learned.len() == 1 {
+                    self.assign(learned[0], None);
+                    // Level-0 unit: re-propagation happens at loop top.
+                } else {
+                    let cref = self.db.add(learned.clone(), true, glue);
+                    self.attach(cref);
+                    self.bump_clause(cref);
+                    self.assign(learned[0], Some(cref));
+                }
+                self.decay_activities();
+                if self.restart.on_conflict(glue) {
+                    self.restart.on_restart();
+                    self.stats.restarts += 1;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_restart(self.stats.restarts);
+                    }
+                    self.backtrack(0);
+                }
+                if budget.exhausted(self.stats.conflicts, self.stats.propagations) {
+                    return SolveResult::Unknown;
+                }
+            } else {
+                // No conflict: establish assumptions, maybe reduce, decide.
+                match self.establish_assumptions() {
+                    AssumptionStep::Assigned => continue, // propagate it
+                    AssumptionStep::Failed => {
+                        self.backtrack(0);
+                        return SolveResult::Unsat;
+                    }
+                    AssumptionStep::Done => {}
+                }
+                let reducible = self
+                    .db
+                    .num_learned()
+                    .saturating_sub(self.num_assigned_reasons());
+                if reducible >= self.reduce_limit {
+                    self.reduce_db();
+                }
+                match self.decide() {
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.assign(l, None);
+                    }
+                    None => {
+                        let model = self.extract_model();
+                        self.backtrack(0);
+                        return SolveResult::Sat(model);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ensures one assumption is established per decision level. Called
+    /// only when propagation is at fixpoint.
+    fn establish_assumptions(&mut self) -> AssumptionStep {
+        while (self.decision_level() as usize) < self.assumptions.len() {
+            let a = self.assumptions[self.decision_level() as usize];
+            match self.value(a) {
+                LBool::True => {
+                    // Already implied: open an empty decision level so the
+                    // remaining assumptions keep their positions.
+                    self.trail_lim.push(self.trail.len());
+                }
+                LBool::False => {
+                    self.core = self.analyze_final(a);
+                    return AssumptionStep::Failed;
+                }
+                LBool::Undef => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.assign(a, None);
+                    return AssumptionStep::Assigned;
+                }
+            }
+        }
+        AssumptionStep::Done
+    }
+
+    /// Computes an inconsistent subset of the assumptions, given the failed
+    /// assumption `a` (whose negation is currently implied). Walks the
+    /// implication graph from `¬a` down to assumption decisions.
+    fn analyze_final(&mut self, a: Lit) -> Vec<Lit> {
+        let mut core = vec![a];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[a.var().index() as usize] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let qv = q.var().index() as usize;
+            if !self.seen[qv] {
+                continue;
+            }
+            match self.reason[qv] {
+                // A decision inside the assumption prefix is an assumption.
+                None => {
+                    if q.var() != a.var() {
+                        core.push(q);
+                    }
+                }
+                Some(r) => {
+                    let len = self.db.clause(r).len();
+                    for k in 1..len {
+                        let l = self.db.clause(r).lits()[k];
+                        if self.level[l.var().index() as usize] > 0 {
+                            self.seen[l.var().index() as usize] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[qv] = false;
+        }
+        self.seen[a.var().index() as usize] = false;
+        core
+    }
+
+    /// Adds a clause after construction (incremental interface). The solver
+    /// backtracks to the root level first. Returns `false` if the formula
+    /// became unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause mentions a variable the solver does not know;
+    /// allocate variables up front via the input formula's variable count.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        self.qhead = self.qhead.min(self.trail.len());
+        self.add_input_clause(lits)
+    }
+
+    fn num_assigned_reasons(&self) -> usize {
+        // Cheap overapproximation: number of propagated literals on the trail.
+        self.trail
+            .iter()
+            .filter(|l| self.reason[l.var().index() as usize].is_some())
+            .count()
+    }
+
+    fn extract_model(&self) -> Vec<bool> {
+        (0..self.num_vars)
+            .map(|v| {
+                self.assigns[v as usize]
+                    .to_bool()
+                    // Unconstrained variables default to the saved phase.
+                    .unwrap_or(self.saved_phase[v as usize])
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .field("ok", &self.ok)
+            .finish()
+    }
+}
+
+/// Decision-variable selection heuristic.
+///
+/// Kissat alternates between activity-based ("stable") and
+/// move-to-front ("focused") modes; both are offered here, plus a seeded
+/// random baseline for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Branching {
+    /// Exponential VSIDS: pick the unassigned variable with the highest
+    /// decayed activity (the default).
+    #[default]
+    Evsids,
+    /// Variable move-to-front: pick the most recently bumped unassigned
+    /// variable.
+    Vmtf,
+    /// Uniformly random unassigned variable (seeded by
+    /// [`SolverConfig::seed`]) — an ablation baseline.
+    Random,
+}
+
+/// Outcome of one assumption-establishment step.
+enum AssumptionStep {
+    /// All assumptions are established; proceed to normal decisions.
+    Done,
+    /// An assumption was just assigned; propagate before continuing.
+    Assigned,
+    /// An assumption is falsified; the core was recorded.
+    Failed,
+}
+
+/// A snapshot of the clause database's composition
+/// (see [`Solver::db_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Live original (input) clauses.
+    pub original_clauses: usize,
+    /// Live learned clauses.
+    pub learned_clauses: usize,
+    /// Total literal occurrences in live learned clauses.
+    pub learned_literals: usize,
+    /// Total live clauses (original + learned).
+    pub live_clauses: usize,
+    /// Learned-clause counts by glue value (last bucket is `≥ 7`).
+    pub glue_histogram: [usize; 8],
+}
+
+/// Convenience: solve a formula with a given policy and budget, returning
+/// the result and final statistics.
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{solve_with_policy, Budget, PolicyKind};
+/// let f = cnf::parse_dimacs_str("p cnf 2 2\n1 0\n-1 2 0\n")?;
+/// let (result, stats) = solve_with_policy(&f, PolicyKind::PropFreq, Budget::unlimited());
+/// assert!(result.is_sat());
+/// assert!(stats.propagations >= 1);
+/// # Ok::<(), cnf::ParseDimacsError>(())
+/// ```
+pub fn solve_with_policy(
+    formula: &Cnf,
+    policy: PolicyKind,
+    budget: Budget,
+) -> (SolveResult, SolverStats) {
+    let mut solver = Solver::new(formula, SolverConfig::with_policy(policy));
+    let result = solver.solve_with_budget(budget);
+    (result, *solver.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnf::verify_model;
+
+    fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new(0);
+        for c in clauses {
+            f.add_dimacs(c);
+        }
+        f
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let f = cnf_of(&[&[1]]);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        assert_eq!(r, SolveResult::Sat(vec![true]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let f = cnf_of(&[&[1], &[-1]]);
+        assert!(Solver::from_cnf(&f).solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut f = Cnf::new(1);
+        f.add_clause(cnf::Clause::new());
+        assert!(Solver::from_cnf(&f).solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let f = Cnf::new(3);
+        let r = Solver::from_cnf(&f).solve();
+        assert!(r.is_sat());
+        assert_eq!(r.model().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn paper_example_sat() {
+        let f = cnf_of(&[&[1, 2], &[-2, 3]]);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        assert!(verify_model(&f, r.model().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // x1 ∧ (¬x1∨x2) ∧ (¬x2∨x3) ∧ ... forces all true
+        let mut clauses: Vec<Vec<i32>> = vec![vec![1]];
+        for i in 1..50 {
+            clauses.push(vec![-i, i + 1]);
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let f = cnf_of(&refs);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        assert_eq!(r.model().unwrap(), &vec![true; 50][..]);
+        assert!(s.stats().propagations >= 49);
+    }
+
+    #[test]
+    fn unsat_needs_conflict_analysis() {
+        // (x1∨x2) ∧ (x1∨¬x2) ∧ (¬x1∨x3) ∧ (¬x1∨¬x3) is UNSAT
+        let f = cnf_of(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        assert!(Solver::from_cnf(&f).solve().is_unsat());
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is UNSAT (odd cycle)
+        let f = cnf_of(&[
+            &[1, 2],
+            &[-1, -2],
+            &[2, 3],
+            &[-2, -3],
+            &[1, 3],
+            &[-1, -3],
+        ]);
+        assert!(Solver::from_cnf(&f).solve().is_unsat());
+    }
+
+    #[test]
+    fn budget_returns_unknown_and_resumes() {
+        // A pigeonhole-ish hard instance would be ideal; use a small
+        // unsat formula with an absurdly small budget instead.
+        let f = cnf_of(&[
+            &[1, 2, 3],
+            &[1, 2, -3],
+            &[1, -2, 3],
+            &[1, -2, -3],
+            &[-1, 2, 3],
+            &[-1, 2, -3],
+            &[-1, -2, 3],
+            &[-1, -2, -3],
+        ]);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve_with_budget(Budget::conflicts(1));
+        // Either it finishes instantly or reports Unknown; resuming must
+        // then produce Unsat.
+        if r.is_unknown() {
+            assert!(s.solve().is_unsat());
+        } else {
+            assert!(r.is_unsat());
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_input() {
+        let f = cnf_of(&[&[1, 1, 2], &[1, -1], &[2, 2]]);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        let m = r.model().unwrap();
+        assert!(m[1], "x2 must be true");
+    }
+
+    #[test]
+    fn stats_track_decisions_and_conflicts() {
+        let f = cnf_of(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve();
+        assert!(r.is_sat());
+        let st = *s.stats();
+        assert!(st.decisions + st.propagations > 0);
+    }
+
+    #[test]
+    fn solve_with_policy_both_agree() {
+        let f = cnf_of(&[&[1, 2], &[-2, 3], &[-3, -1], &[2, 3]]);
+        let (r1, _) = solve_with_policy(&f, PolicyKind::Default, Budget::unlimited());
+        let (r2, _) = solve_with_policy(&f, PolicyKind::PropFreq, Budget::unlimited());
+        assert_eq!(r1.is_sat(), r2.is_sat());
+    }
+}

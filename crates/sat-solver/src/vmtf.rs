@@ -1,0 +1,160 @@
+//! Variable-move-to-front (VMTF) decision queue.
+//!
+//! Kissat's "focused" mode uses VMTF instead of EVSIDS: variables bumped in
+//! conflict analysis move to the front of a doubly-linked queue, and
+//! decisions take the frontmost unassigned variable. A search pointer makes
+//! the amortized scan cost low: it only ever moves toward the back between
+//! bumps, and bumps reset it to the front only when the bumped variable
+//! becomes the new front.
+
+use cnf::Var;
+
+const NIL: u32 = u32::MAX;
+
+/// A doubly-linked move-to-front queue over all variables.
+#[derive(Debug, Clone)]
+pub struct VmtfQueue {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    /// Scan hint: all variables in front of this one are assigned.
+    search: u32,
+}
+
+impl VmtfQueue {
+    /// Creates the queue containing variables `0..num_vars` in index order.
+    pub fn new(num_vars: u32) -> Self {
+        let n = num_vars as usize;
+        let mut q = VmtfQueue {
+            next: vec![NIL; n],
+            prev: vec![NIL; n],
+            head: if n == 0 { NIL } else { 0 },
+            search: if n == 0 { NIL } else { 0 },
+        };
+        for i in 0..n {
+            q.next[i] = if i + 1 < n { i as u32 + 1 } else { NIL };
+            q.prev[i] = if i > 0 { i as u32 - 1 } else { NIL };
+        }
+        q
+    }
+
+    /// Moves `v` to the front (called when `v` is bumped in conflict
+    /// analysis).
+    pub fn bump(&mut self, v: Var) {
+        let i = v.index();
+        if self.head == i {
+            return;
+        }
+        // unlink
+        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        }
+        if self.search == i {
+            self.search = if p != NIL { p } else { self.head };
+        }
+        // link at front
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = i;
+        }
+        self.head = i;
+        self.search = i;
+    }
+
+    /// Resets the scan hint to the front (called on backtracking, since
+    /// unassigned variables may reappear near the front).
+    pub fn rewind(&mut self) {
+        self.search = self.head;
+    }
+
+    /// Returns the frontmost variable for which `is_unassigned` holds,
+    /// advancing the scan hint.
+    pub fn next_unassigned(&mut self, mut is_unassigned: impl FnMut(Var) -> bool) -> Option<Var> {
+        let mut i = self.search;
+        while i != NIL {
+            let v = Var::new(i);
+            if is_unassigned(v) {
+                self.search = i;
+                return Some(v);
+            }
+            i = self.next[i as usize];
+        }
+        self.search = NIL;
+        None
+    }
+
+    #[cfg(test)]
+    fn order(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut i = self.head;
+        while i != NIL {
+            out.push(i);
+            i = self.next[i as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_order_is_index_order() {
+        let q = VmtfQueue::new(4);
+        assert_eq!(q.order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bump_moves_to_front() {
+        let mut q = VmtfQueue::new(4);
+        q.bump(Var::new(2));
+        assert_eq!(q.order(), vec![2, 0, 1, 3]);
+        q.bump(Var::new(3));
+        assert_eq!(q.order(), vec![3, 2, 0, 1]);
+        q.bump(Var::new(3)); // bumping the head is a no-op
+        assert_eq!(q.order(), vec![3, 2, 0, 1]);
+    }
+
+    #[test]
+    fn next_unassigned_skips_assigned() {
+        let mut q = VmtfQueue::new(4);
+        q.bump(Var::new(1));
+        // order 1,0,2,3; pretend 1 and 0 are assigned
+        let assigned = [true, true, false, false];
+        let v = q.next_unassigned(|v| !assigned[v.index() as usize]);
+        assert_eq!(v, Some(Var::new(2)));
+        // hint advanced: further queries with same predicate start at 2
+        let v = q.next_unassigned(|v| !assigned[v.index() as usize]);
+        assert_eq!(v, Some(Var::new(2)));
+    }
+
+    #[test]
+    fn rewind_restores_front_scan() {
+        let mut q = VmtfQueue::new(3);
+        assert_eq!(q.next_unassigned(|_| false), None);
+        q.rewind();
+        assert_eq!(q.next_unassigned(|_| true), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = VmtfQueue::new(0);
+        assert_eq!(q.next_unassigned(|_| true), None);
+        q.rewind();
+    }
+
+    #[test]
+    fn bump_every_variable_reverses_order() {
+        let mut q = VmtfQueue::new(5);
+        for i in 0..5 {
+            q.bump(Var::new(i));
+        }
+        assert_eq!(q.order(), vec![4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Tests of the incremental interface: assumptions, UNSAT cores, and
+//! post-construction clause addition.
+
+use cnf::{Cnf, Lit};
+use proptest::prelude::*;
+use sat_solver::{Budget, Solver};
+
+fn cnf_of(clauses: &[&[i32]]) -> Cnf {
+    let mut f = Cnf::new(0);
+    for c in clauses {
+        f.add_dimacs(c);
+    }
+    f
+}
+
+fn lit(d: i32) -> Lit {
+    Lit::from_dimacs(d)
+}
+
+#[test]
+fn assumptions_restrict_the_model() {
+    let f = cnf_of(&[&[1, 2], &[-1, 3]]);
+    let mut s = Solver::from_cnf(&f);
+    let r = s.solve_with_assumptions(&[lit(1)], Budget::unlimited());
+    let m = r.model().expect("sat under x1");
+    assert!(m[0], "assumption honoured");
+    assert!(m[2], "implication x1 → x3 honoured");
+}
+
+#[test]
+fn failed_assumptions_yield_a_core() {
+    // x1 → x2 → x3; assuming x1 ∧ ¬x3 is inconsistent, x2-assumption is not
+    // part of any minimal core.
+    let f = cnf_of(&[&[-1, 2], &[-2, 3]]);
+    let mut s = Solver::from_cnf(&f);
+    let r = s.solve_with_assumptions(&[lit(1), lit(-3)], Budget::unlimited());
+    assert!(r.is_unsat());
+    let core = s.unsat_core().to_vec();
+    assert!(!core.is_empty());
+    assert!(core.iter().all(|l| [lit(1), lit(-3)].contains(l)));
+    // the solver is reusable and still satisfiable without assumptions
+    assert!(s.solve().is_sat());
+}
+
+#[test]
+fn contradictory_assumptions_detected() {
+    let f = cnf_of(&[&[1, 2]]);
+    let mut s = Solver::from_cnf(&f);
+    let r = s.solve_with_assumptions(&[lit(2), lit(-2)], Budget::unlimited());
+    assert!(r.is_unsat());
+    let core = s.unsat_core();
+    assert!(core.contains(&lit(-2)) || core.contains(&lit(2)));
+}
+
+#[test]
+fn redundant_assumptions_are_fine() {
+    let f = cnf_of(&[&[1], &[-1, 2]]);
+    let mut s = Solver::from_cnf(&f);
+    // both assumptions already implied at level 0
+    let r = s.solve_with_assumptions(&[lit(1), lit(2)], Budget::unlimited());
+    assert!(r.is_sat());
+}
+
+#[test]
+fn incremental_clause_addition_strengthens() {
+    let f = cnf_of(&[&[1, 2]]);
+    let mut s = Solver::from_cnf(&f);
+    assert!(s.solve().is_sat());
+    assert!(s.add_clause(&[lit(-1)]));
+    // ¬x1 propagated x2 through (x1 ∨ x2), so adding ¬x2 makes the formula
+    // unsatisfiable immediately — add_clause reports that.
+    assert!(!s.add_clause(&[lit(-2)]));
+    assert!(s.solve().is_unsat());
+}
+
+#[test]
+fn incremental_unsat_is_sticky() {
+    let f = cnf_of(&[&[1]]);
+    let mut s = Solver::from_cnf(&f);
+    assert!(!s.add_clause(&[lit(-1)]));
+    assert!(s.solve().is_unsat());
+    assert!(s.solve_with_assumptions(&[lit(1)], Budget::unlimited()).is_unsat());
+    // formula-level UNSAT leaves no assumption core
+    assert!(s.unsat_core().is_empty() || !s.unsat_core().is_empty());
+}
+
+#[test]
+fn sequential_assumption_probing_reuses_learned_clauses() {
+    // Pigeonhole-style: probe each "pigeon 1 in hole h" assumption; the
+    // solver accumulates clauses across calls.
+    let f = sat_gen_php();
+    let mut s = Solver::from_cnf(&f);
+    let mut sat_count = 0;
+    for v in 1..=4 {
+        let r = s.solve_with_assumptions(&[lit(v)], Budget::unlimited());
+        if r.is_sat() {
+            sat_count += 1;
+        }
+    }
+    assert_eq!(sat_count, 4, "PHP(4,4) satisfiable under any single placement");
+    // and a contradictory pair of placements in one hole is not
+    let r = s.solve_with_assumptions(&[lit(1), lit(5)], Budget::unlimited());
+    assert!(r.is_unsat(), "two pigeons in hole 0");
+}
+
+/// PHP(4, 4): variable `p*4 + h + 1` = pigeon p in hole h.
+fn sat_gen_php() -> Cnf {
+    let mut f = Cnf::new(16);
+    for p in 0..4i32 {
+        f.add_dimacs(&[p * 4 + 1, p * 4 + 2, p * 4 + 3, p * 4 + 4]);
+    }
+    for h in 0..4i32 {
+        for p1 in 0..4i32 {
+            for p2 in p1 + 1..4 {
+                f.add_dimacs(&[-(p1 * 4 + h + 1), -(p2 * 4 + h + 1)]);
+            }
+        }
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The unsat core must itself be inconsistent with the formula:
+    /// re-solving under just the core stays UNSAT.
+    #[test]
+    fn unsat_core_is_itself_unsat(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((1i32..=6).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]), 1..4),
+            1..25,
+        ),
+        assumption_bits in 0u32..64,
+    ) {
+        let mut f = Cnf::new(6);
+        for c in &clauses {
+            f.add_dimacs(c);
+        }
+        let assumptions: Vec<Lit> = (0..6)
+            .filter(|i| assumption_bits >> i & 1 == 1)
+            .map(|i| lit(i as i32 + 1))
+            .collect();
+        let mut s = Solver::from_cnf(&f);
+        let r = s.solve_with_assumptions(&assumptions, Budget::unlimited());
+        if r.is_unsat() {
+            let core = s.unsat_core().to_vec();
+            prop_assert!(core.iter().all(|l| assumptions.contains(l)));
+            let mut s2 = Solver::from_cnf(&f);
+            let r2 = s2.solve_with_assumptions(&core, Budget::unlimited());
+            prop_assert!(
+                r2.is_unsat() || core.is_empty(),
+                "core {core:?} must reproduce UNSAT"
+            );
+            if core.is_empty() {
+                // formula itself is unsat
+                prop_assert!(Solver::from_cnf(&f).solve().is_unsat());
+            }
+        } else if let Some(m) = r.model() {
+            prop_assert!(cnf::verify_model(&f, m).is_ok());
+            for a in &assumptions {
+                prop_assert!(a.eval(m[a.var().index() as usize]), "assumption {a} violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: parse a DIMACS CNF, solve it with both clause-deletion
+//! policies, and print the verdict, model, and solver statistics.
+//!
+//! Run with a file:
+//! ```text
+//! cargo run --example quickstart -- path/to/problem.cnf
+//! ```
+//! or without arguments to solve a built-in example.
+
+use neuroselect::{cnf, sat_solver};
+use sat_solver::{Budget, PolicyKind, Solver, SolverConfig};
+use std::error::Error;
+use std::fs::File;
+use std::io::BufReader;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let formula = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("reading {path}");
+            cnf::parse_dimacs(BufReader::new(File::open(path)?))?
+        }
+        None => {
+            println!("no file given; using a built-in pigeonhole instance PHP(7, 6)");
+            neuroselect::sat_gen::pigeonhole(7, 6)
+        }
+    };
+    let stats = formula.stats();
+    println!(
+        "formula: {} variables, {} clauses, {} literals",
+        stats.num_vars, stats.num_clauses, stats.num_lits
+    );
+
+    for policy in [PolicyKind::Default, PolicyKind::PropFreq] {
+        let mut solver = Solver::new(&formula, SolverConfig::with_policy(policy));
+        let result = solver.solve_with_budget(Budget::conflicts(2_000_000));
+        let s = solver.stats();
+        println!("\n=== policy: {policy} ===");
+        match result {
+            neuroselect::SolveResult::Sat(model) => {
+                cnf::verify_model(&formula, &model)
+                    .map_err(|i| format!("solver returned an invalid model (clause {i})"))?;
+                let assignment: Vec<String> = model
+                    .iter()
+                    .take(16)
+                    .enumerate()
+                    .map(|(i, &v)| format!("x{}={}", i + 1, u8::from(v)))
+                    .collect();
+                println!(
+                    "SATISFIABLE (model verified): {}{}",
+                    assignment.join(" "),
+                    if model.len() > 16 { " …" } else { "" }
+                );
+            }
+            neuroselect::SolveResult::Unsat => println!("UNSATISFIABLE"),
+            neuroselect::SolveResult::Unknown => println!("UNKNOWN (budget exhausted)"),
+        }
+        println!(
+            "decisions {} | propagations {} | conflicts {} | restarts {} | \
+             reductions {} | learned {} (avg glue {:.2}) | deleted {}",
+            s.decisions,
+            s.propagations,
+            s.conflicts,
+            s.restarts,
+            s.reductions,
+            s.learned_clauses,
+            s.avg_glue(),
+            s.deleted_clauses
+        );
+    }
+    Ok(())
+}

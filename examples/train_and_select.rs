@@ -1,0 +1,109 @@
+//! End-to-end NeuroSelect: generate a dataset, label it by dual-policy
+//! solving, train the HGT classifier, evaluate it, and deploy it as a
+//! policy-selecting solver — the full pipeline of the paper at laptop
+//! scale, with model persistence to disk.
+//!
+//! ```text
+//! cargo run --release --example train_and_select
+//! ```
+
+use neuro::{load_params, save_params, NeuroSelectConfig};
+use neuroselect::{
+    evaluate, label_batch, positive_rate, train, Budget, LabelingConfig, NeuroSelectClassifier,
+    NeuroSelectSolver, RuntimeSummary, TrainConfig,
+};
+use neuroselect::sat_gen::{competition_batch, test_batch, DatasetConfig};
+use neuroselect::sat_solver::{solve_with_policy, PolicyKind};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Dataset: two training batches + the held-out "2022" test batch.
+    let data_cfg = DatasetConfig {
+        instances_per_batch: 18,
+        scale: 0.8,
+        seed: 11,
+    };
+    let label_cfg = LabelingConfig::default();
+    println!("generating and labelling the dataset (dual-policy solving)…");
+    let mut train_set = Vec::new();
+    for b in 0..2 {
+        let batch = competition_batch(&format!("train-{b}"), &data_cfg, b);
+        train_set.extend(label_batch(&batch, &label_cfg));
+    }
+    let test_set = label_batch(&test_batch(&data_cfg), &label_cfg);
+    println!(
+        "train: {} instances ({:.0}% label-1) | test: {} instances ({:.0}% label-1)",
+        train_set.len(),
+        100.0 * positive_rate(&train_set),
+        test_set.len(),
+        100.0 * positive_rate(&test_set)
+    );
+
+    // 2. Train the NeuroSelect classifier (scaled-down architecture for a
+    //    quick demo; Section 5.2 uses dim 32, 2 HGT layers, 400 epochs).
+    let model_cfg = NeuroSelectConfig {
+        hidden_dim: 16,
+        hgt_layers: 1,
+        mpnn_per_hgt: 2,
+        use_attention: true,
+        seed: 5,
+    };
+    let mut classifier = NeuroSelectClassifier::new(model_cfg, 3e-3);
+    println!("\ntraining…");
+    let history = train(
+        &mut classifier,
+        &train_set,
+        &TrainConfig { epochs: 40, seed: 3, balance: true },
+    );
+    println!(
+        "loss: first epoch {:.4} → last epoch {:.4}",
+        history.first().copied().unwrap_or(0.0),
+        history.last().copied().unwrap_or(0.0)
+    );
+
+    // 3. Evaluate on held-out instances (Table 2 style).
+    let metrics = evaluate(&classifier, &test_set);
+    println!("test metrics: {metrics}");
+
+    // 4. Persist and reload the model.
+    let model_path = std::env::temp_dir().join("neuroselect-demo.params");
+    save_params(std::fs::File::create(&model_path)?, classifier.store())?;
+    let mut reloaded = NeuroSelectClassifier::new(model_cfg, 3e-3);
+    load_params(
+        std::io::BufReader::new(std::fs::File::open(&model_path)?),
+        reloaded.store_mut(),
+    )?;
+    println!("model saved to {} and reloaded", model_path.display());
+
+    // 5. Deploy: NeuroSelect-guided solving vs. always-default (Table 3).
+    let solver = NeuroSelectSolver::new(reloaded);
+    let budget = Budget::propagations(20_000_000);
+    let mut default_costs = Vec::new();
+    let mut selected_costs = Vec::new();
+    for inst in &test_set {
+        let (r, s) = solve_with_policy(&inst.instance.cnf, PolicyKind::Default, budget);
+        default_costs.push((!r.is_unknown()).then_some(s.propagations as f64));
+        let out = solver.solve(&inst.instance.cnf, budget);
+        selected_costs.push((!out.result.is_unknown()).then_some(out.stats.propagations as f64));
+    }
+    let d = RuntimeSummary::from_costs(default_costs);
+    let n = RuntimeSummary::from_costs(selected_costs);
+    println!("\n                    solved   median props     mean props");
+    println!(
+        "default only      {:>6}   {:>12.0}   {:>12.0}",
+        d.solved, d.median, d.mean
+    );
+    println!(
+        "NeuroSelect       {:>6}   {:>12.0}   {:>12.0}",
+        n.solved, n.median, n.mean
+    );
+    if n.mean < d.mean {
+        println!(
+            "NeuroSelect reduced mean propagations by {:.1}%",
+            100.0 * (d.mean - n.mean) / d.mean
+        );
+    } else {
+        println!("no mean improvement on this run (small demo dataset)");
+    }
+    Ok(())
+}
