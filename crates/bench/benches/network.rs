@@ -3,9 +3,7 @@
 //! graph-conversion preprocessing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use neuro::{
-    Adam, GraphTensors, NeuroSelectConfig, NeuroSelectModel, ParamStore, Session, Tape,
-};
+use neuro::{Adam, GraphTensors, NeuroSelectConfig, NeuroSelectModel, ParamStore, Session, Tape};
 use neuroselect::sat_gen::phase_transition_3sat;
 use sat_graph::BipartiteGraph;
 use std::hint::black_box;
@@ -99,5 +97,11 @@ fn forward_vs_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, inference, train_step, graph_conversion, forward_vs_backward);
+criterion_group!(
+    benches,
+    inference,
+    train_step,
+    graph_conversion,
+    forward_vs_backward
+);
 criterion_main!(benches);

@@ -21,11 +21,8 @@ fn bcp_throughput(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
             b.iter(|| {
-                let (r, s) = solve_with_policy(
-                    black_box(f),
-                    PolicyKind::Default,
-                    Budget::unlimited(),
-                );
+                let (r, s) =
+                    solve_with_policy(black_box(f), PolicyKind::Default, Budget::unlimited());
                 assert!(r.is_sat());
                 black_box(s.propagations)
             });
@@ -62,8 +59,7 @@ fn solve_families(c: &mut Criterion) {
                 &(f, policy),
                 |b, (f, policy)| {
                     b.iter(|| {
-                        let (r, s) =
-                            solve_with_policy(black_box(f), *policy, Budget::unlimited());
+                        let (r, s) = solve_with_policy(black_box(f), *policy, Budget::unlimited());
                         assert!(!r.is_unknown());
                         black_box(s.conflicts)
                     });

@@ -37,7 +37,11 @@ fn main() {
     println!("D1: hotness threshold α in Equation (2) (paper default 0.8)\n");
     let mut rows = Vec::new();
     let baseline = mean_props(&batch, PolicyKind::Default, budget);
-    rows.push(vec!["default policy".to_string(), format!("{baseline:.0}"), "—".into()]);
+    rows.push(vec![
+        "default policy".to_string(),
+        format!("{baseline:.0}"),
+        "—".into(),
+    ]);
     let act = mean_props(&batch, PolicyKind::Activity, budget);
     rows.push(vec![
         "activity policy (MiniSat)".to_string(),
@@ -70,7 +74,10 @@ fn main() {
             let _ = s.solve_with_budget(budget);
             costs.push(s.stats().propagations as f64);
         }
-        rows.push(vec![format!("{fraction:.2}"), format!("{:.0}", mean(&costs))]);
+        rows.push(vec![
+            format!("{fraction:.2}"),
+            format!("{:.0}", mean(&costs)),
+        ]);
     }
     print_table(&["delete fraction", "mean props"], &rows);
 
@@ -135,7 +142,10 @@ fn main() {
                     "—".into(),
                 ]);
             }
-            Preprocessed::Simplified { cnf, reconstruction } => {
+            Preprocessed::Simplified {
+                cnf,
+                reconstruction,
+            } => {
                 rows.push(vec![
                     inst.name.clone(),
                     inst.cnf.num_clauses().to_string(),
@@ -149,5 +159,8 @@ fn main() {
             }
         }
     }
-    print_table(&["instance", "clauses", "after preprocess", "detail"], &rows);
+    print_table(
+        &["instance", "clauses", "after preprocess", "detail"],
+        &rows,
+    );
 }

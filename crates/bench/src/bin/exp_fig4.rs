@@ -8,17 +8,22 @@
 //! shape summary.
 //!
 //! ```text
-//! cargo run --release -p bench --bin exp_fig4 [-- --instances N --budget P]
+//! cargo run --release -p bench --bin exp_fig4 \
+//!     [-- --instances N --budget P --records FILE.jsonl]
 //! ```
+//!
+//! With `--records`, every solver run additionally emits one telemetry
+//! `RunRecord` JSON line (phase times, glue/length/trail distributions).
 
-use bench::{dataset_config, mixed_batch, print_table, ExpArgs};
-use neuroselect::sat_solver::{solve_with_policy, Budget, PolicyKind};
+use bench::{dataset_config, mixed_batch, print_table, ExpArgs, RecordLog};
+use neuroselect::sat_solver::{solve_with_policy_recorded, Budget, PolicyKind};
 
 fn main() {
     let args = ExpArgs::from_env();
     let config = dataset_config(&args);
     let budget = Budget::propagations(args.get("budget", 20_000_000u64));
     let batch = mixed_batch("fig4", &config, 4);
+    let mut records = RecordLog::from_args(&args);
 
     println!("# Figure 4 series: instance default-props propfreq-props verdict");
     let mut rows = Vec::new();
@@ -27,8 +32,14 @@ fn main() {
     let mut on = 0;
     let mut timeouts = 0;
     for inst in &batch.instances {
-        let (r_def, s_def) = solve_with_policy(&inst.cnf, PolicyKind::Default, budget);
-        let (r_new, s_new) = solve_with_policy(&inst.cnf, PolicyKind::PropFreq, budget);
+        let (r_def, s_def, rec_def) =
+            solve_with_policy_recorded(&inst.cnf, PolicyKind::Default, budget, &inst.name, None);
+        let (r_new, s_new, rec_new) =
+            solve_with_policy_recorded(&inst.cnf, PolicyKind::PropFreq, budget, &inst.name, None);
+        if let Some(log) = records.as_mut() {
+            log.push(&rec_def);
+            log.push(&rec_new);
+        }
         if r_def.is_unknown() && r_new.is_unknown() {
             timeouts += 1;
             continue; // the paper excludes instances unsolved by both
@@ -54,7 +65,10 @@ fn main() {
             if r_def.is_sat() { "SAT" } else { "UNSAT" }.to_string(),
         ]);
     }
-    print_table(&["instance", "props(default)", "props(prop-freq)", "verdict"], &rows);
+    print_table(
+        &["instance", "props(default)", "props(prop-freq)", "verdict"],
+        &rows,
+    );
     println!(
         "\nshape summary (cf. Figure 4): {below} instances below the diagonal \
          (new policy wins), {above} above (default wins), {on} on it (±2%), \

@@ -21,7 +21,11 @@ fn row(name: &str, m: &ClassifierMetrics, train: &ClassifierMetrics) -> Vec<Stri
         format!("{:.2}%", 100.0 * m.recall()),
         format!("{:.2}%", 100.0 * m.f1()),
         format!("{:.2}%", 100.0 * m.accuracy()),
-        format!("{:.0}%/{:.0}%", 100.0 * train.f1(), 100.0 * train.accuracy()),
+        format!(
+            "{:.0}%/{:.0}%",
+            100.0 * train.f1(),
+            100.0 * train.accuracy()
+        ),
     ]
 }
 
@@ -33,7 +37,11 @@ fn main() {
     let batches: usize = args.get("batches", 3);
     let dim: usize = args.get("dim", 16);
     let lr: f32 = args.get("lr", 3e-3);
-    let train_cfg = TrainConfig { epochs, seed: 7, balance: true };
+    let train_cfg = TrainConfig {
+        epochs,
+        seed: 7,
+        balance: true,
+    };
 
     eprintln!("generating + labelling dataset (dual-policy solving)…");
     let train_set = labeled_training_set(&config, &label_cfg, batches);
@@ -64,12 +72,20 @@ fn main() {
     eprintln!("training NeuroSAT baseline…");
     let mut neurosat = NeuroSatClassifier::new(base_cfg, lr);
     train(&mut neurosat, &train_set, &train_cfg);
-    rows.push(row(neurosat.name(), &evaluate(&neurosat, &test_set), &evaluate(&neurosat, &train_set)));
+    rows.push(row(
+        neurosat.name(),
+        &evaluate(&neurosat, &test_set),
+        &evaluate(&neurosat, &train_set),
+    ));
 
     eprintln!("training GIN baseline…");
     let mut gin = GinClassifier::new(base_cfg, lr);
     train(&mut gin, &train_set, &train_cfg);
-    rows.push(row(gin.name(), &evaluate(&gin, &test_set), &evaluate(&gin, &train_set)));
+    rows.push(row(
+        gin.name(),
+        &evaluate(&gin, &test_set),
+        &evaluate(&gin, &train_set),
+    ));
 
     eprintln!("training NeuroSelect w/o attention…");
     let mut ns_noattn = NeuroSelectClassifier::new(
@@ -80,16 +96,31 @@ fn main() {
         lr,
     );
     train(&mut ns_noattn, &train_set, &train_cfg);
-    rows.push(row(ns_noattn.name(), &evaluate(&ns_noattn, &test_set), &evaluate(&ns_noattn, &train_set)));
+    rows.push(row(
+        ns_noattn.name(),
+        &evaluate(&ns_noattn, &test_set),
+        &evaluate(&ns_noattn, &train_set),
+    ));
 
     eprintln!("training NeuroSelect…");
     let mut ns = NeuroSelectClassifier::new(ns_cfg, lr);
     train(&mut ns, &train_set, &train_cfg);
-    rows.push(row(ns.name(), &evaluate(&ns, &test_set), &evaluate(&ns, &train_set)));
+    rows.push(row(
+        ns.name(),
+        &evaluate(&ns, &test_set),
+        &evaluate(&ns, &train_set),
+    ));
 
     println!("Table 2: Performance of different SAT classification models\n");
     print_table(
-        &["model", "precision", "recall", "F1", "accuracy", "train F1/acc"],
+        &[
+            "model",
+            "precision",
+            "recall",
+            "F1",
+            "accuracy",
+            "train F1/acc",
+        ],
         &rows,
     );
     println!(

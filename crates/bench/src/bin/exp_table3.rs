@@ -5,12 +5,19 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin exp_table3 \
-//!     [-- --instances N --scale S --epochs E --batches B]
+//!     [-- --instances N --scale S --epochs E --batches B --records FILE.jsonl]
 //! ```
+//!
+//! With `--records`, the default-policy baseline and the calibrated
+//! NeuroSelect run each emit one telemetry `RunRecord` JSON line per
+//! instance (the NeuroSelect records carry `inference_time_s` and the
+//! pipeline phases).
 
-use bench::{dataset_config, labeled_test_set, labeled_training_set, print_table, ExpArgs};
+use bench::{
+    dataset_config, labeled_test_set, labeled_training_set, print_table, ExpArgs, RecordLog,
+};
 use neuro::NeuroSelectConfig;
-use neuroselect::sat_solver::{solve_with_policy, PolicyKind};
+use neuroselect::sat_solver::{solve_with_policy, solve_with_policy_recorded, PolicyKind};
 use neuroselect::{
     calibrate_threshold, train, Budget, LabelingConfig, NeuroSelectClassifier, NeuroSelectSolver,
     RuntimeSummary, TrainConfig,
@@ -38,7 +45,15 @@ fn main() {
         seed: 3,
     };
     let mut classifier = NeuroSelectClassifier::new(ns_cfg, args.get("lr", 3e-3));
-    train(&mut classifier, &train_set, &TrainConfig { epochs, seed: 7, balance: true });
+    train(
+        &mut classifier,
+        &train_set,
+        &TrainConfig {
+            epochs,
+            seed: 7,
+            balance: true,
+        },
+    );
     // Extension: calibrate the decision threshold on the training labels'
     // measured costs (cost-sensitive selection; see EXPERIMENTS.md).
     let calibration = calibrate_threshold(&classifier, &train_set);
@@ -47,6 +62,7 @@ fn main() {
     let solver = calibrated;
 
     eprintln!("running the Table 3 comparison…");
+    let mut records = RecordLog::from_args(&args);
     let mut base_props = Vec::new();
     let mut base_secs = Vec::new();
     let mut ns_props = Vec::new();
@@ -55,12 +71,22 @@ fn main() {
     let mut switched = 0;
     for inst in &test_set {
         let t = Instant::now();
-        let (r, s) = solve_with_policy(&inst.instance.cnf, PolicyKind::Default, budget);
+        let (r, s, rec) = solve_with_policy_recorded(
+            &inst.instance.cnf,
+            PolicyKind::Default,
+            budget,
+            &inst.instance.name,
+            None,
+        );
         let solved = !r.is_unknown();
         base_props.push(solved.then_some(s.propagations as f64));
         base_secs.push(solved.then_some(t.elapsed().as_secs_f64()));
 
-        let out = solver.solve(&inst.instance.cnf, budget);
+        let out = solver.solve_recorded(&inst.instance.cnf, budget, &inst.instance.name, None);
+        if let Some(log) = records.as_mut() {
+            log.push(&rec);
+            log.push(&out.record);
+        }
         let solved = !out.result.is_unknown();
         if out.chosen == PolicyKind::PropFreq {
             switched += 1;

@@ -9,9 +9,7 @@
 //! ```
 
 use bench::ExpArgs;
-use neuroselect::sat_solver::{
-    check_proof, PolicyKind, RestartStrategy, Solver, SolverConfig,
-};
+use neuroselect::sat_solver::{check_proof, PolicyKind, RestartStrategy, Solver, SolverConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

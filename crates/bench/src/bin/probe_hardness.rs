@@ -10,8 +10,8 @@
 
 use bench::print_table;
 use neuroselect::sat_gen::{
-    coloring_cnf, equivalence_miter_cnf, phase_transition_3sat, pigeonhole,
-    tseitin_expander_unsat, Graph,
+    coloring_cnf, equivalence_miter_cnf, phase_transition_3sat, pigeonhole, tseitin_expander_unsat,
+    Graph,
 };
 use neuroselect::sat_solver::{solve_with_policy, Budget, PolicyKind};
 use std::time::Instant;
@@ -62,12 +62,22 @@ fn main() {
             num_gates: gates,
             num_outputs: 3,
         };
-        run(format!("miter gates={gates}"), equivalence_miter_cnf(spec, 7));
+        run(
+            format!("miter gates={gates}"),
+            equivalence_miter_cnf(spec, 7),
+        );
     }
 
     print_table(
         &[
-            "instance", "vars", "clauses", "conflicts", "props", "reduces", "verdict", "secs",
+            "instance",
+            "vars",
+            "clauses",
+            "conflicts",
+            "props",
+            "reduces",
+            "verdict",
+            "secs",
         ],
         &rows,
     );

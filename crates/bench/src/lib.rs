@@ -14,6 +14,8 @@ use neuroselect::sat_gen::{competition_batch, test_batch, Batch, DatasetConfig};
 use neuroselect::{label_batch, LabeledInstance, LabelingConfig};
 use std::collections::HashMap;
 use std::time::Instant;
+use telemetry::json::ToJson;
+use telemetry::RunRecord;
 
 /// Command-line options shared by the experiment binaries:
 /// `--key value` pairs, all optional.
@@ -29,7 +31,7 @@ impl ExpArgs {
     ///
     /// Panics (with a usage message) on malformed arguments.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses `--key value` pairs from an iterator (testable entry point).
@@ -37,7 +39,7 @@ impl ExpArgs {
     /// # Panics
     ///
     /// Panics on a key without a value or a bare token.
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
         let mut values = HashMap::new();
         let mut iter = args.into_iter();
         while let Some(key) = iter.next() {
@@ -126,6 +128,54 @@ pub fn mixed_batch(name: &str, config: &DatasetConfig, seed: u64) -> Batch {
     competition_batch(name, config, seed)
 }
 
+/// Machine-readable experiment output: one [`RunRecord`] JSON line per
+/// solver run, opened from the shared `--records FILE.jsonl` option.
+///
+/// Lets the `exp_*` binaries double as data producers — the printed table
+/// stays the human-facing summary while the JSONL stream carries the full
+/// per-run telemetry (phase times, histograms, stats) for offline analysis.
+pub struct RecordLog {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: String,
+    written: usize,
+}
+
+impl RecordLog {
+    /// Opens the log when `--records PATH` was given; `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created.
+    pub fn from_args(args: &ExpArgs) -> Option<RecordLog> {
+        let path: String = args.get("records", String::new());
+        if path.is_empty() {
+            return None;
+        }
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| panic!("--records {path}: {e}"));
+        Some(RecordLog {
+            writer: std::io::BufWriter::new(file),
+            path,
+            written: 0,
+        })
+    }
+
+    /// Appends one record as a single JSON line.
+    pub fn push(&mut self, record: &RunRecord) {
+        use std::io::Write;
+        if writeln!(self.writer, "{}", record.to_json()).is_ok() {
+            self.written += 1;
+        }
+    }
+}
+
+impl Drop for RecordLog {
+    fn drop(&mut self) {
+        use std::io::Write;
+        let _ = self.writer.flush();
+        eprintln!("{} run records written to {}", self.written, self.path);
+    }
+}
+
 /// Prints a plain-text table: a header row and aligned columns.
 ///
 /// # Panics
@@ -160,7 +210,7 @@ mod tests {
 
     #[test]
     fn args_parse_and_default() {
-        let a = ExpArgs::from_iter(["--epochs".to_string(), "7".to_string()]);
+        let a = ExpArgs::parse_from(["--epochs".to_string(), "7".to_string()]);
         assert_eq!(a.get("epochs", 3usize), 7);
         assert_eq!(a.get("scale", 1.5f64), 1.5);
     }
@@ -168,13 +218,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing value")]
     fn args_reject_dangling_key() {
-        let _ = ExpArgs::from_iter(["--oops".to_string()]);
+        let _ = ExpArgs::parse_from(["--oops".to_string()]);
     }
 
     #[test]
     #[should_panic(expected = "expected --key")]
     fn args_reject_bare_token() {
-        let _ = ExpArgs::from_iter(["oops".to_string()]);
+        let _ = ExpArgs::parse_from(["oops".to_string()]);
     }
 
     #[test]

@@ -246,10 +246,7 @@ mod tests {
         // x1=T satisfies
         assert_eq!(c.eval_partial(|v| (v == 0).then_some(true)), Some(true));
         // x1=F, x2=T falsifies
-        assert_eq!(
-            c.eval_partial(|v| Some(v == 1)),
-            Some(false)
-        );
+        assert_eq!(c.eval_partial(|v| Some(v == 1)), Some(false));
         // x1=F, x2 unassigned: undetermined
         assert_eq!(c.eval_partial(|v| (v == 0).then_some(false)), None);
         // empty clause is false

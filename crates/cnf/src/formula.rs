@@ -376,7 +376,12 @@ mod tests {
         f.add_dimacs(&[1, 2, 3, 4]);
         let s = f.stats();
         assert_eq!(
-            (s.unit_clauses, s.binary_clauses, s.ternary_clauses, s.long_clauses),
+            (
+                s.unit_clauses,
+                s.binary_clauses,
+                s.ternary_clauses,
+                s.long_clauses
+            ),
             (1, 1, 1, 1)
         );
         assert_eq!(s.num_lits, 10);

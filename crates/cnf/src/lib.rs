@@ -38,6 +38,8 @@ mod formula;
 mod lit;
 
 pub use clause::Clause;
-pub use dimacs::{parse_dimacs, parse_dimacs_str, to_dimacs_string, write_dimacs, ParseDimacsError};
+pub use dimacs::{
+    parse_dimacs, parse_dimacs_str, to_dimacs_string, write_dimacs, ParseDimacsError,
+};
 pub use formula::{verify_model, Cnf, CnfStats};
 pub use lit::{Lit, Var};

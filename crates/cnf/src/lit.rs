@@ -162,7 +162,10 @@ impl Lit {
     /// Panics if `dimacs == 0`.
     #[inline]
     pub fn from_dimacs(dimacs: i32) -> Self {
-        assert!(dimacs != 0, "0 is the DIMACS clause terminator, not a literal");
+        assert!(
+            dimacs != 0,
+            "0 is the DIMACS clause terminator, not a literal"
+        );
         Lit::new(Var::from_dimacs(dimacs.abs()), dimacs < 0)
     }
 

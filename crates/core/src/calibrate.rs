@@ -176,10 +176,7 @@ mod tests {
     #[test]
     fn identical_costs_make_everything_equal() {
         // same instance (same prediction) with equal costs everywhere
-        let data = vec![
-            fake_instance("a", 100, 100),
-            fake_instance("b", 100, 100),
-        ];
+        let data = vec![fake_instance("a", 100, 100), fake_instance("b", 100, 100)];
         let c = tiny_classifier();
         let cal = calibrate_threshold(&c, &data);
         assert_eq!(cal.calibrated_cost, 200);

@@ -67,6 +67,12 @@ impl NeuroSelectClassifier {
         &self.store
     }
 
+    /// The predicted probability of label 1, plus the wall-clock time of
+    /// the forward pass (the telemetry pipeline's `gnn_forward` phase).
+    pub fn predict_timed(&self, prepared: &GraphTensors) -> (f32, std::time::Duration) {
+        self.model.predict_timed(&self.store, prepared)
+    }
+
     /// Mutable access to the parameter store (for model loading).
     pub fn store_mut(&mut self) -> &mut ParamStore {
         &mut self.store
@@ -322,7 +328,10 @@ mod tests {
 
     fn tiny_data() -> Vec<LabeledInstance> {
         vec![
-            labeled("p cnf 4 6\n1 2 0\n-1 2 0\n1 -2 0\n3 4 0\n-3 4 0\n3 -4 0\n", 0),
+            labeled(
+                "p cnf 4 6\n1 2 0\n-1 2 0\n1 -2 0\n3 4 0\n-3 4 0\n3 -4 0\n",
+                0,
+            ),
             labeled("p cnf 4 2\n1 2 3 4 0\n-1 -2 -3 -4 0\n", 1),
         ]
     }
@@ -341,7 +350,15 @@ mod tests {
     fn neuroselect_overfits_tiny_dataset() {
         let data = tiny_data();
         let mut c = NeuroSelectClassifier::new(tiny_ns_config(), 0.02);
-        let history = train(&mut c, &data, &TrainConfig { epochs: 60, seed: 1, balance: true });
+        let history = train(
+            &mut c,
+            &data,
+            &TrainConfig {
+                epochs: 60,
+                seed: 1,
+                balance: true,
+            },
+        );
         assert!(history.last().unwrap() < &history[0]);
         let m = evaluate(&c, &data);
         assert_eq!(m.accuracy(), 1.0, "{m}");
@@ -356,10 +373,26 @@ mod tests {
             seed: 2,
         };
         let mut gin = GinClassifier::new(cfg, 0.02);
-        train(&mut gin, &data, &TrainConfig { epochs: 30, seed: 1, balance: true });
+        train(
+            &mut gin,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                seed: 1,
+                balance: true,
+            },
+        );
         assert_eq!(evaluate(&gin, &data).total(), 2);
         let mut ns = NeuroSatClassifier::new(cfg, 0.02);
-        train(&mut ns, &data, &TrainConfig { epochs: 30, seed: 1, balance: true });
+        train(
+            &mut ns,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                seed: 1,
+                balance: true,
+            },
+        );
         assert_eq!(evaluate(&ns, &data).total(), 2);
     }
 
@@ -385,7 +418,11 @@ mod tests {
             &mut c,
             &data,
             &data,
-            &TrainConfig { epochs: 4, seed: 2, balance: true },
+            &TrainConfig {
+                epochs: 4,
+                seed: 2,
+                balance: true,
+            },
         );
         assert_eq!(history.len(), 4);
         assert!(history.iter().all(|r| r.train_loss.is_finite()));
@@ -395,7 +432,15 @@ mod tests {
     #[test]
     fn empty_training_set_is_harmless() {
         let mut c = NeuroSelectClassifier::new(tiny_ns_config(), 0.01);
-        let history = train(&mut c, &[], &TrainConfig { epochs: 3, seed: 0, balance: true });
+        let history = train(
+            &mut c,
+            &[],
+            &TrainConfig {
+                epochs: 3,
+                seed: 0,
+                balance: true,
+            },
+        );
         assert_eq!(history, vec![0.0, 0.0, 0.0]);
     }
 }

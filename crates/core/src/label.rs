@@ -61,8 +61,9 @@ pub fn label_cnf(formula: &Cnf, config: &LabelingConfig) -> LabelOutcome {
     let (r_new, s_new) = solve_with_policy(formula, PolicyKind::PropFreq, config.budget);
     let both_solved = !r_def.is_unknown() && !r_new.is_unknown();
     let verdicts_agree = match (&r_def, &r_new) {
-        (SolveResult::Sat(_), SolveResult::Sat(_))
-        | (SolveResult::Unsat, SolveResult::Unsat) => true,
+        (SolveResult::Sat(_), SolveResult::Sat(_)) | (SolveResult::Unsat, SolveResult::Unsat) => {
+            true
+        }
         (SolveResult::Unknown, _) | (_, SolveResult::Unknown) => true, // censored
         _ => false,
     };

@@ -60,9 +60,11 @@ pub use classifier::{
     evaluate, train, train_with_validation, Classifier, EpochRecord, GinClassifier,
     NeuroSatClassifier, NeuroSelectClassifier, TrainConfig,
 };
-pub use label::{label_batch, label_cnf, positive_rate, LabelOutcome, LabeledInstance, LabelingConfig};
+pub use label::{
+    label_batch, label_cnf, positive_rate, LabelOutcome, LabeledInstance, LabelingConfig,
+};
 pub use metrics::{mean, median, BoxPlot, ClassifierMetrics, RuntimeSummary};
-pub use parallel::{par_map, solve_batch};
+pub use parallel::{par_map, solve_batch, solve_batch_recorded};
 pub use select::{NeuroSelectSolver, SelectionOutcome};
 
 // Re-export the substrate crates so downstream users need only one

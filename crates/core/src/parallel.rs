@@ -6,8 +6,11 @@
 //! machine offers while staying deterministic per instance.
 
 use cnf::Cnf;
-use sat_solver::{solve_with_policy, Budget, PolicyKind, SolveResult, SolverStats};
+use sat_solver::{
+    solve_with_policy, solve_with_policy_recorded, Budget, PolicyKind, SolveResult, SolverStats,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use telemetry::RunRecord;
 
 /// Applies `f` to every item on `threads` worker threads, preserving input
 /// order in the output.
@@ -78,6 +81,33 @@ pub fn solve_batch(
     threads: usize,
 ) -> Vec<(SolveResult, SolverStats)> {
     par_map(formulas, threads, |f| solve_with_policy(f, policy, budget))
+}
+
+/// Like [`solve_batch`], but each worker carries a telemetry recorder:
+/// the output additionally holds one [`RunRecord`] per instance (phase
+/// timings, glue/length/trail distributions, peak clause-DB size), in
+/// input order. Records are tagged `{id_prefix}-{index:04}`.
+///
+/// # Examples
+///
+/// ```
+/// use neuroselect::{solve_batch_recorded, Budget, PolicyKind};
+/// let batch = vec![sat_gen::pigeonhole(5, 4)];
+/// let runs = solve_batch_recorded(&batch, PolicyKind::Default, Budget::unlimited(), 1, "php");
+/// assert_eq!(runs[0].2.instance_id, "php-0000");
+/// assert_eq!(runs[0].2.result, "UNSAT");
+/// ```
+pub fn solve_batch_recorded(
+    formulas: &[Cnf],
+    policy: PolicyKind,
+    budget: Budget,
+    threads: usize,
+    id_prefix: &str,
+) -> Vec<(SolveResult, SolverStats, RunRecord)> {
+    let indexed: Vec<(usize, &Cnf)> = formulas.iter().enumerate().collect();
+    par_map(&indexed, threads, |&(i, f)| {
+        solve_with_policy_recorded(f, policy, budget, &format!("{id_prefix}-{i:04}"), None)
+    })
 }
 
 #[cfg(test)]

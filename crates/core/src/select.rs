@@ -3,8 +3,10 @@
 
 use crate::{Classifier, NeuroSelectClassifier};
 use cnf::Cnf;
-use sat_solver::{solve_with_policy, Budget, PolicyKind, SolveResult, SolverStats};
+use sat_solver::{solve_with_policy_recorded, Budget, PolicyKind, SolveResult, SolverStats};
 use std::time::{Duration, Instant};
+use telemetry::json::Json;
+use telemetry::{Phase, PhaseTimes, RunRecord, Sink};
 
 /// The record of one NeuroSelect-guided solve, including the one-time
 /// inference cost the paper folds into NeuroSelect-Kissat's runtime.
@@ -22,6 +24,10 @@ pub struct SelectionOutcome {
     pub inference_time: Duration,
     /// Wall-clock time of the solving phase.
     pub solve_time: Duration,
+    /// Full telemetry record: solver phase timings and distributions plus
+    /// the pipeline's `feature_extract` / `gnn_forward` / `policy_select`
+    /// phases and the inference time.
+    pub record: RunRecord,
 }
 
 impl SelectionOutcome {
@@ -64,33 +70,75 @@ impl NeuroSelectSolver {
     /// Picks the deletion policy for a formula (one model inference),
     /// returning the policy, probability, and inference time.
     pub fn select_policy(&self, formula: &Cnf) -> (PolicyKind, f32, Duration) {
+        let (chosen, probability, elapsed, _) = self.select_policy_phased(formula);
+        (chosen, probability, elapsed)
+    }
+
+    /// [`select_policy`](Self::select_policy) with per-phase timing:
+    /// `feature_extract` (formula → graph tensors), `gnn_forward` (model
+    /// forward pass), and `policy_select` (thresholding).
+    fn select_policy_phased(&self, formula: &Cnf) -> (PolicyKind, f32, Duration, PhaseTimes) {
         let start = Instant::now();
+        let mut phases = PhaseTimes::default();
         let nodes = formula.num_vars() as usize + formula.num_clauses();
         if nodes > self.node_cutoff {
-            return (PolicyKind::Default, 0.0, start.elapsed());
+            return (PolicyKind::Default, 0.0, start.elapsed(), phases);
         }
-        let prepared = self.classifier.prepare(formula);
-        let probability = self.classifier.predict(&prepared);
+        let prepared = {
+            let _guard = phases.scope(Phase::FeatureExtract);
+            self.classifier.prepare(formula)
+        };
+        let (probability, forward_time) = self.classifier.predict_timed(&prepared);
+        phases.add(Phase::GnnForward, forward_time);
+        let select_start = Instant::now();
         let chosen = if probability > self.threshold {
             PolicyKind::PropFreq
         } else {
             PolicyKind::Default
         };
-        (chosen, probability, start.elapsed())
+        phases.add(Phase::PolicySelect, select_start.elapsed());
+        (chosen, probability, start.elapsed(), phases)
     }
 
     /// Solves a formula with the model-selected deletion policy.
     pub fn solve(&self, formula: &Cnf, budget: Budget) -> SelectionOutcome {
-        let (chosen, probability, inference_time) = self.select_policy(formula);
+        self.solve_recorded(formula, budget, "unnamed", None)
+    }
+
+    /// Like [`solve`](Self::solve), with telemetry identity and output:
+    /// the outcome's [`RunRecord`] is tagged with `instance_id`, and solver
+    /// events stream into `sink` when one is given.
+    ///
+    /// The `solve_end` event emitted through the sink carries solver-side
+    /// measurements only; the *returned* record is additionally enriched
+    /// with the pipeline phases, the inference time, and the model
+    /// probability.
+    pub fn solve_recorded(
+        &self,
+        formula: &Cnf,
+        budget: Budget,
+        instance_id: &str,
+        sink: Option<Box<dyn Sink>>,
+    ) -> SelectionOutcome {
+        let (chosen, probability, inference_time, pipeline_phases) =
+            self.select_policy_phased(formula);
         let solve_start = Instant::now();
-        let (result, stats) = solve_with_policy(formula, chosen, budget);
+        let (result, stats, mut record) =
+            solve_with_policy_recorded(formula, chosen, budget, instance_id, sink);
+        let solve_time = solve_start.elapsed();
+        record.inference_time_s = Some(inference_time.as_secs_f64());
+        record.phases.merge(&pipeline_phases);
+        record
+            .extra
+            .set("probability", Json::from(f64::from(probability)));
         SelectionOutcome {
             result,
             stats,
             chosen,
             probability,
             inference_time,
-            solve_time: solve_start.elapsed(),
+            solve_time,
+            record,
         }
     }
 }

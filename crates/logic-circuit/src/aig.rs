@@ -296,9 +296,7 @@ pub fn write_aiger<W: Write>(mut writer: W, circuit: &Circuit) -> io::Result<()>
 /// ```
 pub fn parse_aiger<R: BufRead>(reader: R) -> Result<Circuit, ParseAigerError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| syntax("empty input"))??;
+    let header = lines.next().ok_or_else(|| syntax("empty input"))??;
     let parts: Vec<&str> = header.split_whitespace().collect();
     if parts.len() != 6 || parts[0] != "aag" {
         return Err(syntax(format!("bad header `{header}`")));
@@ -333,13 +331,15 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<Circuit, ParseAigerError> {
             .trim()
             .parse()
             .map_err(|_| syntax(format!("bad input literal `{line}`")))?;
-        if lit % 2 != 0 || lit == 0 {
+        if !lit.is_multiple_of(2) || lit == 0 {
             return Err(syntax(format!("input literal {lit} must be positive")));
         }
         let node = circuit.input();
         let var = (lit / 2) as usize;
         if var >= node_of_var.len() || node_of_var[var].is_some() {
-            return Err(syntax(format!("input variable {var} out of range or redefined")));
+            return Err(syntax(format!(
+                "input variable {var} out of range or redefined"
+            )));
         }
         node_of_var[var] = Some(node);
         input_literals.push(lit);
@@ -359,12 +359,15 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<Circuit, ParseAigerError> {
             let line = next_line()?;
             let nums: Vec<u32> = line
                 .split_whitespace()
-                .map(|t| t.parse().map_err(|_| syntax(format!("bad AND line `{line}`"))))
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| syntax(format!("bad AND line `{line}`")))
+                })
                 .collect::<Result<_, _>>()?;
             if nums.len() != 3 {
                 return Err(syntax(format!("AND line needs 3 literals: `{line}`")));
             }
-            if nums[0] % 2 != 0 || nums[0] == 0 {
+            if !nums[0].is_multiple_of(2) || nums[0] == 0 {
                 return Err(syntax(format!("AND lhs {} must be positive", nums[0])));
             }
             Ok((nums[0], nums[1], nums[2]))
@@ -374,8 +377,8 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<Circuit, ParseAigerError> {
     // AIGER files list ANDs in topological order (aag allows any order, but
     // tools emit topological; we require it for single-pass construction).
     let lit_node = |circuit: &mut Circuit,
-                        node_of_var: &[Option<NodeId>],
-                        lit: u32|
+                    node_of_var: &[Option<NodeId>],
+                    lit: u32|
      -> Result<NodeId, ParseAigerError> {
         let var = (lit / 2) as usize;
         let node = node_of_var
@@ -396,7 +399,9 @@ pub fn parse_aiger<R: BufRead>(reader: R) -> Result<Circuit, ParseAigerError> {
         let g = circuit.and_gate(an, bn);
         let var = (lhs / 2) as usize;
         if var >= node_of_var.len() || node_of_var[var].is_some() {
-            return Err(syntax(format!("AND variable {var} out of range or redefined")));
+            return Err(syntax(format!(
+                "AND variable {var} out of range or redefined"
+            )));
         }
         node_of_var[var] = Some(g);
     }
@@ -531,7 +536,8 @@ mod tests {
         assert!(parse_aiger("aig 1 1 0 1 0\n2\n2\n".as_bytes()).is_err());
         assert!(parse_aiger("aag 1 0 1 0 0\n".as_bytes()).is_err()); // latch
         assert!(parse_aiger("aag 1 1 0 1 0\n3\n2\n".as_bytes()).is_err()); // odd input
-        assert!(parse_aiger("aag 2 1 0 1 1\n2\n4\n4 6 2\n".as_bytes()).is_err()); // undefined var
+        assert!(parse_aiger("aag 2 1 0 1 1\n2\n4\n4 6 2\n".as_bytes()).is_err());
+        // undefined var
     }
 
     #[test]

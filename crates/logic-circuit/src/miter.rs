@@ -50,7 +50,10 @@ pub fn miter(a: &Circuit, b: &Circuit) -> Circuit {
         b.outputs().len(),
         "miter requires equal output arity"
     );
-    assert!(!a.outputs().is_empty(), "miter requires at least one output");
+    assert!(
+        !a.outputs().is_empty(),
+        "miter requires at least one output"
+    );
 
     let mut m = Circuit::new();
     let shared: Vec<NodeId> = (0..a.inputs().len()).map(|_| m.input()).collect();

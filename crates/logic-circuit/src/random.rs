@@ -112,7 +112,10 @@ pub fn random_circuit(spec: RandomCircuitSpec, seed: u64) -> Circuit {
 /// assert_ne!(r.gates().len(), c.gates().len());
 /// ```
 pub fn rewrite(circuit: &Circuit, intensity: f64, seed: u64) -> Circuit {
-    assert!((0.0..=1.0).contains(&intensity), "intensity must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&intensity),
+        "intensity must be in [0,1]"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Circuit::new();
     let mut map: Vec<NodeId> = Vec::with_capacity(circuit.len());

@@ -79,7 +79,11 @@ impl GinModel {
         let mut hc = tape.leaf(Matrix::zeros(g.num_clauses.max(1), d));
         for round in 0..self.config.rounds {
             // clause update: (1+ε)h_c + Σ_v h_v
-            let agg_c = tape.spmm(Rc::clone(&g.sum_to_clause), Rc::clone(&g.sum_to_clause_t), hv);
+            let agg_c = tape.spmm(
+                Rc::clone(&g.sum_to_clause),
+                Rc::clone(&g.sum_to_clause_t),
+                hv,
+            );
             let hc_scaled = tape.scale(hc, 1.0 + self.eps);
             let hc_in = tape.add(hc_scaled, agg_c);
             hc = self.clause_mlps[round].forward(tape, sess, store, hc_in);
@@ -217,7 +221,9 @@ mod tests {
     use sat_graph::{BipartiteGraph, LiteralClauseGraph};
 
     fn vcg(text: &str) -> GraphTensors {
-        GraphTensors::new(&BipartiteGraph::from_cnf(&cnf::parse_dimacs_str(text).unwrap()))
+        GraphTensors::new(&BipartiteGraph::from_cnf(
+            &cnf::parse_dimacs_str(text).unwrap(),
+        ))
     }
 
     fn lcg(text: &str) -> LcgTensors {

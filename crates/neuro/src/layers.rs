@@ -1,17 +1,12 @@
 //! Basic neural layers: linear maps and multi-layer perceptrons.
 
-use crate::{NodeId, ParamId, ParamStore, Session, Tape};
 #[cfg(test)]
 use crate::Matrix;
+use crate::{NodeId, ParamId, ParamStore, Session, Tape};
 use rand::rngs::SmallRng;
 
 /// Binds a stored parameter onto the tape through the session.
-pub(crate) fn bind(
-    tape: &mut Tape,
-    sess: &mut Session,
-    store: &ParamStore,
-    id: ParamId,
-) -> NodeId {
+pub(crate) fn bind(tape: &mut Tape, sess: &mut Session, store: &ParamStore, id: ParamId) -> NodeId {
     sess.bind_value(tape, id, store.value(id).clone())
 }
 

@@ -188,8 +188,7 @@ impl Matrix {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..other.rows {
                 let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                out.data[i * other.rows + j] =
-                    arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.data[i * other.rows + j] = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
             }
         }
         out

@@ -129,7 +129,15 @@ impl NeuroSelectModel {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let d = config.hidden_dim;
         let layers = (0..config.hgt_layers)
-            .map(|_| HgtLayer::new(store, d, config.mpnn_per_hgt, config.use_attention, &mut rng))
+            .map(|_| {
+                HgtLayer::new(
+                    store,
+                    d,
+                    config.mpnn_per_hgt,
+                    config.use_attention,
+                    &mut rng,
+                )
+            })
             .collect();
         let size_embed = crate::Linear::new(store, 2, d, &mut rng);
         let head = Mlp::new(store, &[d, d, 1], Activation::Relu, &mut rng);
@@ -201,11 +209,24 @@ impl NeuroSelectModel {
     /// Inference: the probability that the propagation-frequency policy
     /// (label 1) is the better choice for this instance.
     pub fn predict(&self, store: &ParamStore, g: &GraphTensors) -> f32 {
+        self.predict_timed(store, g).0
+    }
+
+    /// Like [`predict`](Self::predict), but also reports the wall-clock
+    /// time of the forward pass — the quantity the paper folds into
+    /// NeuroSelect-Kissat's runtime and the telemetry pipeline reports as
+    /// the `gnn_forward` phase.
+    pub fn predict_timed(
+        &self,
+        store: &ParamStore,
+        g: &GraphTensors,
+    ) -> (f32, std::time::Duration) {
+        let start = std::time::Instant::now();
         let mut tape = Tape::new();
         let mut sess = Session::new(store);
         let logit = self.forward(&mut tape, &mut sess, store, g);
         let z = tape.value(logit).get(0, 0);
-        1.0 / (1.0 + (-z).exp())
+        (1.0 / (1.0 + (-z).exp()), start.elapsed())
     }
 
     /// One training step on a single labelled graph (batch size 1, as in
@@ -268,6 +289,16 @@ mod tests {
         let p2 = model.predict(&store, &g);
         assert_eq!(p1, p2);
         assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn predict_timed_matches_predict() {
+        let g = tensors("p cnf 3 2\n1 2 0\n-2 3 0\n");
+        let mut store = ParamStore::new();
+        let model = NeuroSelectModel::new(&mut store, tiny_config());
+        let (p, elapsed) = model.predict_timed(&store, &g);
+        assert_eq!(p, model.predict(&store, &g));
+        assert!(elapsed > std::time::Duration::ZERO);
     }
 
     #[test]

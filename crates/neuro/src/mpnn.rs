@@ -40,15 +40,12 @@ impl GraphTensors {
     pub fn new(graph: &BipartiteGraph) -> Self {
         let to_clause = Rc::new(graph.clause_to_var.row_normalized());
         let to_var = Rc::new(graph.var_to_clause.row_normalized());
-        let abs =
-            |m: &CsrMatrix| -> CsrMatrix {
-                let triplets: Vec<(u32, u32, f32)> = (0..m.rows())
-                    .flat_map(|r| {
-                        m.row(r).iter().map(move |&(c, w)| (r as u32, c, w.abs()))
-                    })
-                    .collect();
-                CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
-            };
+        let abs = |m: &CsrMatrix| -> CsrMatrix {
+            let triplets: Vec<(u32, u32, f32)> = (0..m.rows())
+                .flat_map(|r| m.row(r).iter().map(move |&(c, w)| (r as u32, c, w.abs())))
+                .collect();
+            CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+        };
         let sum_to_clause = Rc::new(abs(&graph.clause_to_var));
         let sum_to_var = Rc::new(abs(&graph.var_to_clause));
         let structure = |m: &CsrMatrix| -> Vec<(f32, f32)> {
@@ -57,10 +54,7 @@ impl GraphTensors {
                     let row = m.row(r);
                     let deg = row.len() as f32;
                     let pos = row.iter().filter(|&&(_, w)| w > 0.0).count() as f32;
-                    (
-                        (1.0 + deg).ln(),
-                        if deg > 0.0 { pos / deg } else { 0.5 },
-                    )
+                    ((1.0 + deg).ln(), if deg > 0.0 { pos / deg } else { 0.5 })
                 })
                 .collect()
         };
@@ -167,9 +161,7 @@ impl LcgTensors {
         let to_clause = Rc::new(graph.clause_to_lit.row_normalized());
         let to_lit = Rc::new(graph.lit_to_clause.row_normalized());
         let n = 2 * graph.num_vars;
-        let flip_triplets: Vec<(u32, u32, f32)> = (0..n as u32)
-            .map(|i| (i, i ^ 1, 1.0))
-            .collect();
+        let flip_triplets: Vec<(u32, u32, f32)> = (0..n as u32).map(|i| (i, i ^ 1, 1.0)).collect();
         let flip = Rc::new(CsrMatrix::from_triplets(n, n, &flip_triplets));
         LcgTensors {
             num_vars: graph.num_vars,
@@ -217,7 +209,9 @@ mod tests {
         let graph = tiny_graph();
         let tensors = GraphTensors::new(&graph);
         let mut store = ParamStore::new();
-        let mut rng = init_rng(9);
+        // Seed chosen so the final ReLU keeps at least one activation alive;
+        // an all-negative draw would zero every gradient below.
+        let mut rng = init_rng(7);
         let layer = BipartiteMpnn::new(&mut store, 4, &mut rng);
         let mut tape = Tape::new();
         let mut sess = Session::new(&store);

@@ -267,7 +267,11 @@ impl Tape {
     pub fn spmm(&mut self, a: Rc<CsrMatrix>, at: Rc<CsrMatrix>, x: NodeId) -> NodeId {
         let (n, d) = self.value(x).shape();
         assert_eq!(a.cols(), n, "spmm dimension mismatch");
-        assert_eq!((at.rows(), at.cols()), (a.cols(), a.rows()), "at must be Aᵀ");
+        assert_eq!(
+            (at.rows(), at.cols()),
+            (a.cols(), a.rows()),
+            "at must be Aᵀ"
+        );
         let y = a.matmul_dense(self.value(x).as_slice(), d);
         let v = Matrix::from_vec(a.rows(), d, y);
         self.push(v, Op::Spmm(at, x))
@@ -299,12 +303,11 @@ impl Tape {
         let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[root.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
-        let accumulate = |grads: &mut Vec<Option<Matrix>>, id: NodeId, delta: Matrix| {
-            match &mut grads[id.0] {
+        let accumulate =
+            |grads: &mut Vec<Option<Matrix>>, id: NodeId, delta: Matrix| match &mut grads[id.0] {
                 Some(g) => g.add_assign(&delta),
                 slot @ None => *slot = Some(delta),
-            }
-        };
+            };
 
         for i in (0..self.nodes.len()).rev() {
             let Some(g) = grads[i].clone() else { continue };
@@ -430,11 +433,7 @@ mod tests {
     use super::*;
 
     /// Numerically checks d(loss)/d(leaf) for a scalar-loss builder.
-    fn grad_check(
-        leaves: &[Matrix],
-        build: impl Fn(&mut Tape, &[NodeId]) -> NodeId,
-        tol: f32,
-    ) {
+    fn grad_check(leaves: &[Matrix], build: impl Fn(&mut Tape, &[NodeId]) -> NodeId, tol: f32) {
         // analytic gradients
         let mut tape = Tape::new();
         let ids: Vec<NodeId> = leaves.iter().map(|m| tape.leaf(m.clone())).collect();
@@ -449,8 +448,7 @@ mod tests {
                     let mut perturbed: Vec<Matrix> = leaves.to_vec();
                     perturbed[li].as_mut_slice()[idx] += delta;
                     let mut t = Tape::new();
-                    let ids: Vec<NodeId> =
-                        perturbed.iter().map(|m| t.leaf(m.clone())).collect();
+                    let ids: Vec<NodeId> = perturbed.iter().map(|m| t.leaf(m.clone())).collect();
                     let l = build(&mut t, &ids);
                     t.value(l).get(0, 0)
                 };
@@ -513,7 +511,10 @@ mod tests {
     #[test]
     fn grad_add_row_broadcast() {
         grad_check(
-            &[m(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]), m(&[&[0.5, -0.5]])],
+            &[
+                m(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+                m(&[&[0.5, -0.5]]),
+            ],
             |t, ids| {
                 let y = t.add_row(ids[0], ids[1]);
                 let y2 = t.mul(y, y);
@@ -526,7 +527,10 @@ mod tests {
     #[test]
     fn grad_frob_normalize() {
         grad_check(
-            &[m(&[&[1.0, 2.0], &[-0.5, 0.7]]), m(&[&[0.3, -1.2], &[0.8, 0.1]])],
+            &[
+                m(&[&[1.0, 2.0], &[-0.5, 0.7]]),
+                m(&[&[0.3, -1.2], &[0.8, 0.1]]),
+            ],
             |t, ids| {
                 let q = t.frob_normalize(ids[0]);
                 let y = t.mul(q, ids[1]);

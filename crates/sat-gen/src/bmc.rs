@@ -7,8 +7,9 @@
 //! reachability is genuinely unknown.
 
 use cnf::Cnf;
-use logic_circuit::{encode, random_circuit, unroll, Circuit, NodeId, RandomCircuitSpec,
-    SequentialCircuit};
+use logic_circuit::{
+    encode, random_circuit, unroll, Circuit, NodeId, RandomCircuitSpec, SequentialCircuit,
+};
 
 /// Builds the gated-counter machine: `bits` state bits increment whenever
 /// the single primary input is high, and the monitor fires when all bits
@@ -98,12 +99,16 @@ mod tests {
         for bits in 1..=3usize {
             let threshold = (1 << bits) - 1;
             assert!(
-                Solver::from_cnf(&bmc_counter_cnf(bits, threshold + 1)).solve().is_sat(),
+                Solver::from_cnf(&bmc_counter_cnf(bits, threshold + 1))
+                    .solve()
+                    .is_sat(),
                 "{bits} bits, {} steps must be SAT",
                 threshold + 1
             );
             assert!(
-                Solver::from_cnf(&bmc_counter_cnf(bits, threshold)).solve().is_unsat(),
+                Solver::from_cnf(&bmc_counter_cnf(bits, threshold))
+                    .solve()
+                    .is_unsat(),
                 "{bits} bits, {threshold} steps must be UNSAT"
             );
         }
@@ -122,9 +127,16 @@ mod tests {
     fn deeper_unrollings_monotonically_extend_reachability() {
         // if reachable within k steps, also within k+1
         for seed in 0..4 {
-            let shallow = Solver::from_cnf(&random_bmc_cnf(3, 25, 3, seed)).solve().is_sat();
-            let deep = Solver::from_cnf(&random_bmc_cnf(3, 25, 4, seed)).solve().is_sat();
-            assert!(!shallow || deep, "seed {seed}: reachability must be monotone");
+            let shallow = Solver::from_cnf(&random_bmc_cnf(3, 25, 3, seed))
+                .solve()
+                .is_sat();
+            let deep = Solver::from_cnf(&random_bmc_cnf(3, 25, 4, seed))
+                .solve()
+                .is_sat();
+            assert!(
+                !shallow || deep,
+                "seed {seed}: reachability must be monotone"
+            );
         }
     }
 }

@@ -283,10 +283,12 @@ pub fn load_dimacs_dir(
     let mut instances = Vec::with_capacity(files.len());
     for file in files {
         let reader = std::io::BufReader::new(std::fs::File::open(&file)?);
-        let cnf = cnf::parse_dimacs(reader)
-            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let cnf = cnf::parse_dimacs(reader).map_err(|e| format!("{}: {e}", file.display()))?;
         instances.push(Instance {
-            name: format!("{name}/{}", file.file_stem().unwrap_or_default().to_string_lossy()),
+            name: format!(
+                "{name}/{}",
+                file.file_stem().unwrap_or_default().to_string_lossy()
+            ),
             family: Family::External,
             cnf,
         });
@@ -354,7 +356,10 @@ mod tests {
         let s = test_batch(&config).stats();
         assert_eq!(s.num_cnfs, 6);
         assert!(s.mean_vars > 0.0);
-        assert!(s.mean_clauses > s.mean_vars, "CNFs should have more clauses than vars");
+        assert!(
+            s.mean_clauses > s.mean_vars,
+            "CNFs should have more clauses than vars"
+        );
     }
 
     #[test]

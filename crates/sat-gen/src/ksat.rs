@@ -81,12 +81,7 @@ pub fn phase_transition_3sat(num_vars: u32, seed: u64) -> Cnf {
 /// let (f, model) = planted_ksat(40, 300, 3, 1); // ratio 7.5: uniform would be UNSAT
 /// assert_eq!(cnf::verify_model(&f, &model), Ok(()));
 /// ```
-pub fn planted_ksat(
-    num_vars: u32,
-    num_clauses: usize,
-    k: usize,
-    seed: u64,
-) -> (Cnf, Vec<bool>) {
+pub fn planted_ksat(num_vars: u32, num_clauses: usize, k: usize, seed: u64) -> (Cnf, Vec<bool>) {
     assert!(k >= 1, "clause width must be positive");
     assert!(k as u32 <= num_vars, "clause width exceeds variable count");
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -22,7 +22,11 @@ use logic_circuit::{encode, inject_fault, miter, random_circuit, rewrite, Random
 /// ```
 pub fn equivalence_miter_cnf(spec: RandomCircuitSpec, seed: u64) -> Cnf {
     let original = random_circuit(spec, seed);
-    let twin = rewrite(&original, 0.85, seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let twin = rewrite(
+        &original,
+        0.85,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+    );
     let m = miter(&original, &twin);
     let mut enc = encode(&m);
     enc.assert_node(m.outputs()[0], true);
@@ -48,7 +52,11 @@ pub fn equivalence_miter_cnf(spec: RandomCircuitSpec, seed: u64) -> Cnf {
 /// ```
 pub fn fault_miter_cnf(spec: RandomCircuitSpec, seed: u64) -> Cnf {
     let original = random_circuit(spec, seed);
-    let twin = rewrite(&original, 0.6, seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2));
+    let twin = rewrite(
+        &original,
+        0.6,
+        seed.wrapping_mul(0x85EB_CA6B).wrapping_add(2),
+    );
     let faulty = inject_fault(&twin, seed.wrapping_add(3)).unwrap_or(twin);
     let m = miter(&original, &faulty);
     let mut enc = encode(&m);
@@ -84,7 +92,10 @@ mod tests {
     fn fault_miters_are_usually_sat() {
         let mut sat = 0;
         for seed in 0..6 {
-            if Solver::from_cnf(&fault_miter_cnf(spec(), seed)).solve().is_sat() {
+            if Solver::from_cnf(&fault_miter_cnf(spec(), seed))
+                .solve()
+                .is_sat()
+            {
                 sat += 1;
             }
         }
@@ -93,7 +104,10 @@ mod tests {
 
     #[test]
     fn miters_are_deterministic() {
-        assert_eq!(equivalence_miter_cnf(spec(), 9), equivalence_miter_cnf(spec(), 9));
+        assert_eq!(
+            equivalence_miter_cnf(spec(), 9),
+            equivalence_miter_cnf(spec(), 9)
+        );
         assert_eq!(fault_miter_cnf(spec(), 9), fault_miter_cnf(spec(), 9));
     }
 }

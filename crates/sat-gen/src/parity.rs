@@ -72,7 +72,10 @@ pub fn random_xorsat(num_vars: u32, num_constraints: usize, seed: u64) -> Cnf {
 /// Panics if `vars` is empty or longer than 16 (the CNF expansion is
 /// exponential in the constraint width).
 fn add_xor(f: &mut Cnf, vars: &[Var], parity: bool) {
-    assert!(!vars.is_empty() && vars.len() <= 16, "XOR width out of range");
+    assert!(
+        !vars.is_empty() && vars.len() <= 16,
+        "XOR width out of range"
+    );
     for signs in 0..1u32 << vars.len() {
         let forbidden_parity = signs.count_ones() % 2 == 1;
         if forbidden_parity != parity {
@@ -195,9 +198,9 @@ mod tests {
     /// Reference evaluation of an XOR-3 system by brute force.
     fn xor3_brute(num_vars: u32, constraints: &[(u32, u32, u32, bool)]) -> bool {
         (0..1u32 << num_vars).any(|bits| {
-            constraints.iter().all(|&(a, b, c, p)| {
-                (bits >> a & 1 ^ bits >> b & 1 ^ bits >> c & 1 == 1) == p
-            })
+            constraints
+                .iter()
+                .all(|&(a, b, c, p)| (bits >> a & 1 ^ bits >> b & 1 ^ bits >> c & 1 == 1) == p)
         })
     }
 

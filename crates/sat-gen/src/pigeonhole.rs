@@ -23,7 +23,10 @@ use cnf::{Clause, Cnf, Var};
 /// assert!(Solver::from_cnf(&pigeonhole(5, 4)).solve().is_unsat());
 /// ```
 pub fn pigeonhole(pigeons: u32, holes: u32) -> Cnf {
-    assert!(pigeons > 0 && holes > 0, "need at least one pigeon and hole");
+    assert!(
+        pigeons > 0 && holes > 0,
+        "need at least one pigeon and hole"
+    );
     let var = |p: u32, h: u32| Var::new(p * holes + h);
     let mut f = Cnf::new(pigeons * holes);
     // Each pigeon sits somewhere.

@@ -27,9 +27,9 @@ fn arb_csr(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
 /// Dense reference of a CSR matrix.
 fn densify(m: &CsrMatrix) -> Vec<Vec<f32>> {
     let mut out = vec![vec![0.0; m.cols()]; m.rows()];
-    for r in 0..m.rows() {
+    for (r, row) in out.iter_mut().enumerate() {
         for &(c, w) in m.row(r) {
-            out[r][c as usize] += w;
+            row[c as usize] += w;
         }
     }
     out

@@ -3,19 +3,28 @@
 //! ```text
 //! rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]
 //!               [--conflicts N] [--propagations N] [--proof FILE.drat]
-//!               [--check-proof] [--stats]
+//!               [--check-proof] [--preprocess] [--no-stats]
+//!               [--stats-json FILE.jsonl] [--progress SECS]
 //! ```
+//!
+//! A `c`-comment statistics block is printed by default (`--no-stats`
+//! silences it). `--stats-json` streams structured telemetry events
+//! (solve start/end, reduction snapshots, progress heartbeats) as JSON
+//! Lines; `--progress` prints heartbeats every SECS seconds — to the
+//! JSONL stream when one is open, as `c progress` comments otherwise.
 //!
 //! Exit codes follow the SAT-competition convention: 10 = SAT,
 //! 20 = UNSAT, 0 = unknown/indeterminate, 1 = usage or I/O error.
 
 use sat_solver::{
     check_proof, preprocess, Budget, PolicyKind, PreprocessConfig, Preprocessed, SolveResult,
-    Solver, SolverConfig,
+    Solver, SolverConfig, SolverTelemetry,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
+use telemetry::{Event, JsonlSink, Phase, Sink};
 
 struct Options {
     file: String,
@@ -25,15 +34,44 @@ struct Options {
     check: bool,
     stats: bool,
     preprocess: bool,
+    stats_json: Option<String>,
+    progress: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]\n\
          \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
-         \x20             [--check-proof] [--stats] [--preprocess]"
+         \x20             [--check-proof] [--preprocess] [--no-stats]\n\
+         \x20             [--stats-json FILE.jsonl] [--progress SECS]"
     );
     std::process::exit(1)
+}
+
+/// Streams progress heartbeats to stdout as DIMACS `c` comments; used
+/// when `--progress` is given without `--stats-json`.
+struct CommentSink;
+
+impl Sink for CommentSink {
+    fn emit(&mut self, event: &Event) {
+        if let Event::Progress {
+            conflicts,
+            propagations,
+            learned,
+            elapsed_s,
+            conflicts_per_sec,
+            ..
+        } = event
+        {
+            // sinks must never take the solver down — a closed stdout
+            // (e.g. piped into `head`) is dropped, not propagated
+            let _ = writeln!(
+                std::io::stdout(),
+                "c progress {elapsed_s:.1}s | {conflicts} conflicts ({conflicts_per_sec:.0}/s) \
+                 | {propagations} propagations | {learned} learned"
+            );
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -44,8 +82,10 @@ fn parse_args() -> Options {
     let mut budget = Budget::unlimited();
     let mut proof_path = None;
     let mut check = false;
-    let mut stats = false;
+    let mut stats = true;
     let mut preprocess = false;
+    let mut stats_json = None;
+    let mut progress = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--policy" => {
@@ -56,9 +96,7 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
-            "--alpha" => {
-                alpha = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
-            }
+            "--alpha" => alpha = args.next().and_then(|v| v.parse().ok()).or_else(|| usage()),
             "--conflicts" => {
                 budget.max_conflicts = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
             }
@@ -68,8 +106,21 @@ fn parse_args() -> Options {
             }
             "--proof" => proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => check = true,
-            "--stats" => stats = true,
+            "--stats" => stats = true, // default; kept for compatibility
+            "--no-stats" => stats = false,
             "--preprocess" => preprocess = true,
+            "--stats-json" => stats_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--progress" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if secs > 0.0 && secs.is_finite() {
+                    progress = Some(secs);
+                } else {
+                    usage()
+                }
+            }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
             _ => usage(),
         }
@@ -85,6 +136,8 @@ fn parse_args() -> Options {
         check,
         stats,
         preprocess,
+        stats_json,
+        progress,
     }
 }
 
@@ -142,6 +195,29 @@ fn main() -> ExitCode {
     if opts.proof_path.is_some() || opts.check {
         solver.enable_proof();
     }
+
+    if opts.stats_json.is_some() || opts.progress.is_some() {
+        let instance = std::path::Path::new(&opts.file)
+            .file_name()
+            .map_or_else(|| opts.file.clone(), |n| n.to_string_lossy().into_owned());
+        let mut tel = SolverTelemetry::new(instance);
+        if let Some(path) = &opts.stats_json {
+            match File::create(path) {
+                Ok(f) => tel = tel.with_sink(Box::new(JsonlSink::new(BufWriter::new(f)))),
+                Err(e) => {
+                    eprintln!("rsat: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        } else {
+            tel = tel.with_sink(Box::new(CommentSink));
+        }
+        if let Some(secs) = opts.progress {
+            tel = tel.with_progress(Duration::from_secs_f64(secs));
+        }
+        solver.set_telemetry(tel);
+    }
+
     let result = solver.solve_with_budget(opts.budget);
 
     if opts.stats {
@@ -157,6 +233,32 @@ fn main() -> ExitCode {
             s.learned_clauses,
             s.deleted_clauses
         );
+    }
+
+    if let Some(tel) = solver.take_telemetry() {
+        if opts.stats {
+            for phase in [
+                Phase::Propagate,
+                Phase::Analyze,
+                Phase::Minimize,
+                Phase::Reduce,
+                Phase::Restart,
+            ] {
+                let calls = tel.phases().calls(phase);
+                if calls > 0 {
+                    println!(
+                        "c time {:<9} {:>9.4}s ({calls} calls)",
+                        phase.name(),
+                        tel.phases().elapsed(phase).as_secs_f64()
+                    );
+                }
+            }
+            println!("c peak learned clauses {}", tel.peak_learned_clauses());
+        }
+        drop(tel.into_record()); // flushes the JSONL stream
+        if let Some(path) = &opts.stats_json {
+            println!("c telemetry written to {path}");
+        }
     }
 
     let code = match &result {

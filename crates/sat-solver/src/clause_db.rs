@@ -59,7 +59,6 @@ impl StoredClause {
     pub fn len(&self) -> usize {
         self.lits.len()
     }
-
 }
 
 /// Slab of clauses with recycling of deleted slots.

@@ -1,0 +1,409 @@
+//! Telemetry wiring: structured instrumentation of the CDCL search.
+//!
+//! [`SolverTelemetry`] is the bridge between the solver and the
+//! `telemetry` crate. It is strictly opt-in: a solver without telemetry
+//! installed pays nothing (every hook sits behind an `Option` check), and
+//! an installed recorder never changes search behaviour — it only reads
+//! counters the solver maintains anyway. The invariance test in
+//! `tests/telemetry.rs` pins that guarantee.
+//!
+//! This module also gives the solver's public statistics types a stable
+//! JSON form ([`ToJson`]/[`FromJson`], the workspace's offline stand-in
+//! for serde's `Serialize`/`Deserialize`).
+
+use crate::{DbStats, PolicyKind, SolverStats};
+use std::time::{Duration, Instant};
+use telemetry::json::{FromJson, FromJsonError, Json, ToJson};
+use telemetry::{Event, Histogram, NullSink, Phase, PhaseTimes, RunRecord, Sink};
+
+/// Per-solve telemetry recorder installed via
+/// [`Solver::set_telemetry`](crate::Solver::set_telemetry).
+///
+/// Collects per-phase wall time, the glue / learned-clause-length /
+/// trail-depth-at-conflict distributions, and the peak clause-DB size;
+/// emits structured [`Event`]s (solve start/end, reduction snapshots,
+/// optional progress heartbeats) to a pluggable [`Sink`].
+///
+/// # Examples
+///
+/// ```
+/// use sat_solver::{Solver, SolverTelemetry};
+/// use telemetry::MemorySink;
+///
+/// let f = cnf::parse_dimacs_str("p cnf 2 2\n1 2 0\n-1 2 0\n")?;
+/// let sink = MemorySink::default();
+/// let events = sink.events_handle();
+/// let mut solver = Solver::from_cnf(&f);
+/// solver.set_telemetry(SolverTelemetry::new("example").with_sink(Box::new(sink)));
+/// assert!(solver.solve().is_sat());
+/// let record = solver.take_telemetry().unwrap().into_record().unwrap();
+/// assert_eq!(record.result, "SAT");
+/// assert!(!events.lock().unwrap().is_empty());
+/// # Ok::<(), cnf::ParseDimacsError>(())
+/// ```
+pub struct SolverTelemetry {
+    instance_id: String,
+    sink: Box<dyn Sink>,
+    progress_interval: Option<Duration>,
+    phases: PhaseTimes,
+    glue: Histogram,
+    learned_len: Histogram,
+    trail_depth: Histogram,
+    peak_learned: u64,
+    started: Option<Instant>,
+    last_progress: Option<Instant>,
+    record: Option<RunRecord>,
+}
+
+impl std::fmt::Debug for SolverTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverTelemetry")
+            .field("instance_id", &self.instance_id)
+            .field("phases", &self.phases)
+            .field("peak_learned", &self.peak_learned)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolverTelemetry {
+    /// A recorder for the named instance, with no event output
+    /// ([`NullSink`]); measurements are still collected for the final
+    /// [`RunRecord`].
+    pub fn new(instance_id: impl Into<String>) -> Self {
+        SolverTelemetry {
+            instance_id: instance_id.into(),
+            sink: Box::new(NullSink),
+            progress_interval: None,
+            phases: PhaseTimes::default(),
+            // Glue is small (tier-1 threshold is 2, "good" clauses < 8);
+            // lengths and trail depths span orders of magnitude.
+            glue: Histogram::with_bounds(&[1, 2, 3, 4, 5, 6, 8, 12, 16, 32]),
+            learned_len: Histogram::exponential(1, 2, 12),
+            trail_depth: Histogram::exponential(1, 2, 16),
+            peak_learned: 0,
+            started: None,
+            last_progress: None,
+            record: None,
+        }
+    }
+
+    /// Routes events into `sink` (JSONL file, in-memory test sink, …).
+    pub fn with_sink(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Enables progress heartbeats at roughly this interval. Heartbeats
+    /// are checked on conflict boundaries, so an idle interval shorter
+    /// than the time between conflicts degrades gracefully.
+    pub fn with_progress(mut self, interval: Duration) -> Self {
+        self.progress_interval = Some(interval);
+        self
+    }
+
+    /// Per-phase wall time and call counts collected so far.
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.phases
+    }
+
+    /// Distribution of glue values over learned clauses.
+    pub fn glue_histogram(&self) -> &Histogram {
+        &self.glue
+    }
+
+    /// Distribution of learned-clause lengths.
+    pub fn learned_len_histogram(&self) -> &Histogram {
+        &self.learned_len
+    }
+
+    /// Distribution of trail depth at each conflict.
+    pub fn trail_depth_histogram(&self) -> &Histogram {
+        &self.trail_depth
+    }
+
+    /// Largest number of live learned clauses observed.
+    pub fn peak_learned_clauses(&self) -> u64 {
+        self.peak_learned
+    }
+
+    /// The summary of the most recent completed solve, consuming the
+    /// recorder. `None` if no solve finished while installed.
+    pub fn into_record(mut self) -> Option<RunRecord> {
+        self.sink.flush();
+        self.record.take()
+    }
+
+    // ---- hooks called by the solver ------------------------------------
+
+    pub(crate) fn on_solve_start(&mut self, policy: &'static str, num_vars: u64, num_clauses: u64) {
+        self.started = Some(Instant::now());
+        self.last_progress = None;
+        self.sink.emit(&Event::SolveStart {
+            instance_id: self.instance_id.clone(),
+            policy: policy.to_string(),
+            num_vars,
+            num_clauses,
+        });
+    }
+
+    #[inline]
+    pub(crate) fn add_phase(&mut self, phase: Phase, elapsed: Duration) {
+        self.phases.add(phase, elapsed);
+    }
+
+    #[inline]
+    pub(crate) fn on_conflict(
+        &mut self,
+        glue: u32,
+        learned_len: usize,
+        trail_depth: usize,
+        live_learned: usize,
+    ) {
+        self.glue.record(u64::from(glue));
+        self.learned_len.record(learned_len as u64);
+        self.trail_depth.record(trail_depth as u64);
+        self.peak_learned = self.peak_learned.max(live_learned as u64);
+    }
+
+    /// Emits a heartbeat when the configured interval has elapsed. Called
+    /// on conflict boundaries only, and only when heartbeats are enabled.
+    pub(crate) fn maybe_progress(&mut self, stats: &SolverStats, live_learned: usize) {
+        let Some(interval) = self.progress_interval else {
+            return;
+        };
+        let Some(started) = self.started else {
+            return;
+        };
+        let now = Instant::now();
+        let due = match self.last_progress {
+            Some(last) => now.duration_since(last) >= interval,
+            None => now.duration_since(started) >= interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_progress = Some(now);
+        let elapsed_s = now.duration_since(started).as_secs_f64();
+        let rate = |n: u64| {
+            if elapsed_s > 0.0 {
+                n as f64 / elapsed_s
+            } else {
+                0.0
+            }
+        };
+        self.sink.emit(&Event::Progress {
+            conflicts: stats.conflicts,
+            propagations: stats.propagations,
+            decisions: stats.decisions,
+            learned: live_learned as u64,
+            elapsed_s,
+            conflicts_per_sec: rate(stats.conflicts),
+            propagations_per_sec: rate(stats.propagations),
+        });
+    }
+
+    pub(crate) fn on_reduction(
+        &mut self,
+        reduction_no: u64,
+        candidates: usize,
+        deleted: usize,
+        learned_after: usize,
+        conflicts: u64,
+    ) {
+        self.sink.emit(&Event::Reduction {
+            reduction_no,
+            candidates: candidates as u64,
+            deleted: deleted as u64,
+            learned_after: learned_after as u64,
+            conflicts,
+        });
+    }
+
+    pub(crate) fn on_solve_end(
+        &mut self,
+        result: &str,
+        policy: &'static str,
+        stats: &SolverStats,
+        db: &DbStats,
+    ) {
+        let solve_time_s = self
+            .started
+            .take()
+            .map_or(0.0, |s| s.elapsed().as_secs_f64());
+        let mut record = RunRecord::new(self.instance_id.clone(), policy);
+        record.result = result.to_string();
+        record.solve_time_s = solve_time_s;
+        record.peak_learned_clauses = self.peak_learned;
+        record.phases = self.phases;
+        record.stats = stats.to_json();
+        record.extra = Json::object()
+            .with("db", db.to_json())
+            .with("glue_histogram", self.glue.to_json())
+            .with("learned_len_histogram", self.learned_len.to_json())
+            .with("trail_depth_histogram", self.trail_depth.to_json());
+        self.sink.emit(&Event::SolveEnd {
+            record: record.clone(),
+        });
+        self.sink.flush();
+        self.record = Some(record);
+    }
+}
+
+// ---- stable JSON forms for the solver's public statistics types --------
+
+impl ToJson for SolverStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("decisions", Json::from(self.decisions))
+            .with("propagations", Json::from(self.propagations))
+            .with("conflicts", Json::from(self.conflicts))
+            .with("restarts", Json::from(self.restarts))
+            .with("reductions", Json::from(self.reductions))
+            .with("learned_clauses", Json::from(self.learned_clauses))
+            .with("deleted_clauses", Json::from(self.deleted_clauses))
+            .with("minimized_lits", Json::from(self.minimized_lits))
+            .with("glue_sum", Json::from(self.glue_sum))
+    }
+}
+
+impl FromJson for SolverStats {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let field = |key: &str| -> Result<u64, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or(FromJsonError::field(key))
+        };
+        Ok(SolverStats {
+            decisions: field("decisions")?,
+            propagations: field("propagations")?,
+            conflicts: field("conflicts")?,
+            restarts: field("restarts")?,
+            reductions: field("reductions")?,
+            learned_clauses: field("learned_clauses")?,
+            deleted_clauses: field("deleted_clauses")?,
+            minimized_lits: field("minimized_lits")?,
+            glue_sum: field("glue_sum")?,
+        })
+    }
+}
+
+impl ToJson for DbStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("original_clauses", Json::from(self.original_clauses))
+            .with("learned_clauses", Json::from(self.learned_clauses))
+            .with("learned_literals", Json::from(self.learned_literals))
+            .with("live_clauses", Json::from(self.live_clauses))
+            .with(
+                "glue_histogram",
+                Json::from(self.glue_histogram.map(|c| c as u64).to_vec()),
+            )
+    }
+}
+
+impl FromJson for DbStats {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let field = |key: &str| -> Result<usize, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or(FromJsonError::field(key))
+        };
+        let hist_json = value
+            .get("glue_histogram")
+            .and_then(Json::as_array)
+            .ok_or(FromJsonError::field("glue_histogram"))?;
+        let mut glue_histogram = [0usize; 8];
+        if hist_json.len() != glue_histogram.len() {
+            return Err(FromJsonError::new("glue_histogram must have 8 buckets"));
+        }
+        for (slot, v) in glue_histogram.iter_mut().zip(hist_json) {
+            *slot = v.as_u64().ok_or(FromJsonError::field("glue_histogram"))? as usize;
+        }
+        Ok(DbStats {
+            original_clauses: field("original_clauses")?,
+            learned_clauses: field("learned_clauses")?,
+            learned_literals: field("learned_literals")?,
+            live_clauses: field("live_clauses")?,
+            glue_histogram,
+        })
+    }
+}
+
+impl ToJson for PolicyKind {
+    /// Serializes as the policy's display name (`"default"`,
+    /// `"prop-freq"`, `"prop-freq(α=…)"`, `"activity"`).
+    fn to_json(&self) -> Json {
+        Json::from(self.to_string())
+    }
+}
+
+impl FromJson for PolicyKind {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let name = value
+            .as_str()
+            .ok_or(FromJsonError::new("policy must be a string"))?;
+        match name {
+            "default" => Ok(PolicyKind::Default),
+            "prop-freq" => Ok(PolicyKind::PropFreq),
+            "activity" => Ok(PolicyKind::Activity),
+            other => {
+                let alpha = other
+                    .strip_prefix("prop-freq(α=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .and_then(|a| a.parse::<f64>().ok())
+                    .ok_or_else(|| FromJsonError::new(format!("unknown policy `{other}`")))?;
+                Ok(PolicyKind::PropFreqAlpha(alpha))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_stats_roundtrip() {
+        let stats = SolverStats {
+            decisions: 1,
+            propagations: 2,
+            conflicts: 3,
+            restarts: 4,
+            reductions: 5,
+            learned_clauses: 6,
+            deleted_clauses: 7,
+            minimized_lits: 8,
+            glue_sum: 9,
+        };
+        assert_eq!(SolverStats::from_json(&stats.to_json()).unwrap(), stats);
+        assert!(SolverStats::from_json(&Json::object()).is_err());
+    }
+
+    #[test]
+    fn db_stats_roundtrip() {
+        let db = DbStats {
+            original_clauses: 100,
+            learned_clauses: 42,
+            learned_literals: 400,
+            live_clauses: 142,
+            glue_histogram: [0, 1, 2, 3, 4, 5, 6, 7],
+        };
+        assert_eq!(DbStats::from_json(&db.to_json()).unwrap(), db);
+    }
+
+    #[test]
+    fn policy_kind_roundtrip() {
+        for policy in [
+            PolicyKind::Default,
+            PolicyKind::PropFreq,
+            PolicyKind::PropFreqAlpha(0.625),
+            PolicyKind::Activity,
+        ] {
+            assert_eq!(PolicyKind::from_json(&policy.to_json()).unwrap(), policy);
+        }
+        assert!(PolicyKind::from_json(&Json::from("no-such-policy")).is_err());
+    }
+}

@@ -39,6 +39,7 @@ mod clause_db;
 mod config;
 mod freq;
 mod heap;
+mod instrument;
 mod lbool;
 mod observer;
 mod policy;
@@ -50,6 +51,7 @@ mod vmtf;
 
 pub use config::{Budget, SolveResult, SolverConfig, SolverStats};
 pub use freq::FrequencyTable;
+pub use instrument::SolverTelemetry;
 pub use lbool::LBool;
 pub use observer::{GlueTrace, NullObserver, SearchObserver};
 pub use policy::{
@@ -58,4 +60,4 @@ pub use policy::{
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed, Reconstruction};
 pub use proof::{check_proof, ProofError, ProofLogger, ProofStep};
 pub use restart::{luby, RestartScheduler, RestartStrategy};
-pub use solver::{solve_with_policy, Branching, DbStats, Solver};
+pub use solver::{solve_with_policy, solve_with_policy_recorded, Branching, DbStats, Solver};

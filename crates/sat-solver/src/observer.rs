@@ -35,34 +35,31 @@ pub struct NullObserver;
 
 impl SearchObserver for NullObserver {}
 
-/// Records the glue time series and reduction history.
+/// Records the glue time series, its distribution, and the reduction
+/// history.
 ///
 /// # Examples
 ///
 /// ```
 /// use sat_solver::{GlueTrace, Solver};
-/// let f = sat_gen_example();
+/// let f = cnf::parse_dimacs_str(
+///     "p cnf 3 4\n1 2 3 0\n-1 -2 3 0\n1 -2 -3 0\n-1 2 -3 0\n",
+/// )?;
 /// let mut solver = Solver::from_cnf(&f);
-/// let trace = GlueTrace::default();
-/// let trace = {
-///     let mut solver = solver;
-///     solver.set_observer(Box::new(trace));
-///     solver.solve();
-///     solver.take_observer::<GlueTrace>().expect("observer present")
-/// };
+/// solver.set_observer(Box::new(GlueTrace::default()));
+/// solver.solve();
+/// let trace = solver.take_observer::<GlueTrace>().expect("observer present");
 /// assert_eq!(trace.glues.len() as u64, trace.conflicts);
-/// # fn sat_gen_example() -> cnf::Cnf {
-/// #     let mut f = cnf::Cnf::new(0);
-/// #     for c in [[1, 2, 3], [-1, -2, 3], [1, -2, -3], [-1, 2, -3]] {
-/// #         f.add_dimacs(&c);
-/// #     }
-/// #     f
-/// # }
+/// assert_eq!(trace.glue_histogram.count(), trace.conflicts);
+/// # Ok::<(), cnf::ParseDimacsError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GlueTrace {
     /// Glue of every learned clause, in conflict order.
     pub glues: Vec<u32>,
+    /// The same glues bucketed for distribution queries (mean, quantiles,
+    /// per-bucket counts) without post-processing the series.
+    pub glue_histogram: telemetry::Histogram,
     /// Total conflicts observed.
     pub conflicts: u64,
     /// Total restarts observed.
@@ -71,10 +68,25 @@ pub struct GlueTrace {
     pub reductions: Vec<(usize, usize)>,
 }
 
+impl Default for GlueTrace {
+    fn default() -> Self {
+        GlueTrace {
+            glues: Vec::new(),
+            // One bucket per glue value through 7, then a coarse tail —
+            // the same shape as `Solver::db_stats`'s glue histogram.
+            glue_histogram: telemetry::Histogram::with_bounds(&[1, 2, 3, 4, 5, 6, 7, 16, 64]),
+            conflicts: 0,
+            restarts: 0,
+            reductions: Vec::new(),
+        }
+    }
+}
+
 impl SearchObserver for GlueTrace {
     fn on_conflict(&mut self, _conflict_no: u64, glue: u32, _learned_len: usize) {
         self.conflicts += 1;
         self.glues.push(glue);
+        self.glue_histogram.record(u64::from(glue));
     }
 
     fn on_restart(&mut self, _restart_no: u64) {
@@ -116,7 +128,12 @@ mod tests {
             stats.deleted_clauses
         );
         assert_eq!(trace.glues.len() as u64, stats.learned_clauses);
-        assert_eq!(trace.glues.iter().map(|&g| g as u64).sum::<u64>(), stats.glue_sum);
+        assert_eq!(
+            trace.glues.iter().map(|&g| g as u64).sum::<u64>(),
+            stats.glue_sum
+        );
+        assert_eq!(trace.glue_histogram.count(), stats.learned_clauses);
+        assert_eq!(trace.glue_histogram.sum(), stats.glue_sum);
     }
 
     #[test]

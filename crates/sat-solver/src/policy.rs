@@ -263,7 +263,7 @@ mod tests {
         let p = PropFreqPolicy::new();
         let hot = lits(&[1, 2]); // both hot
         let cold = lits(&[3, 4]); // none hot
-        // hot clause with terrible glue still outranks cold clause with glue 2
+                                  // hot clause with terrible glue still outranks cold clause with glue 2
         assert!(p.score(&ctx(&hot, 50, &freq)) > p.score(&ctx(&cold, 2, &freq)));
     }
 
@@ -333,8 +333,14 @@ mod tests {
 
     #[test]
     fn label_roundtrip() {
-        assert_eq!(PolicyKind::from_label(PolicyKind::Default.label()), PolicyKind::Default);
-        assert_eq!(PolicyKind::from_label(PolicyKind::PropFreq.label()), PolicyKind::PropFreq);
+        assert_eq!(
+            PolicyKind::from_label(PolicyKind::Default.label()),
+            PolicyKind::Default
+        );
+        assert_eq!(
+            PolicyKind::from_label(PolicyKind::PropFreq.label()),
+            PolicyKind::PropFreq
+        );
         assert_eq!(PolicyKind::PropFreqAlpha(0.7).label(), 1);
     }
 

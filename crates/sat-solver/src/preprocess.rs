@@ -146,11 +146,7 @@ impl State {
         self.occurrences[l.code() as usize]
             .iter()
             .copied()
-            .filter(|&i| {
-                self.clauses[i]
-                    .as_ref()
-                    .is_some_and(|c| c.contains(l))
-            })
+            .filter(|&i| self.clauses[i].as_ref().is_some_and(|c| c.contains(l)))
             .collect()
     }
 
@@ -181,7 +177,9 @@ impl State {
                 self.remove(idx);
             }
             for idx in self.occ(!l) {
-                let Some(mut c) = self.remove(idx) else { continue };
+                let Some(mut c) = self.remove(idx) else {
+                    continue;
+                };
                 c.lits_mut().retain(|&x| x != !l);
                 match c.len() {
                     0 => return false,
@@ -274,18 +272,24 @@ pub fn preprocess(formula: &Cnf, config: &PreprocessConfig) -> Preprocessed {
         // --- subsumption + self-subsuming resolution -----------------
         let live: Vec<usize> = st.live().map(|(i, _)| i).collect();
         for &i in &live {
-            let Some(c) = st.clauses[i].clone() else { continue };
+            let Some(c) = st.clauses[i].clone() else {
+                continue;
+            };
             // find candidate superset clauses through the rarest literal
-            let Some(&anchor) = c.lits().iter().min_by_key(|l| {
-                st.occurrences[l.code() as usize].len()
-            }) else {
+            let Some(&anchor) = c
+                .lits()
+                .iter()
+                .min_by_key(|l| st.occurrences[l.code() as usize].len())
+            else {
                 continue;
             };
             for j in st.occ(anchor) {
                 if i == j {
                     continue;
                 }
-                let Some(d) = st.clauses[j].clone() else { continue };
+                let Some(d) = st.clauses[j].clone() else {
+                    continue;
+                };
                 if subsumes(&c, &d) {
                     st.remove(j);
                     changed = true;
@@ -304,7 +308,9 @@ pub fn preprocess(formula: &Cnf, config: &PreprocessConfig) -> Preprocessed {
                     if i == j {
                         continue;
                     }
-                    let Some(d) = st.clauses[j].clone() else { continue };
+                    let Some(d) = st.clauses[j].clone() else {
+                        continue;
+                    };
                     if subsumes(&c_flipped, &d) {
                         let Some(mut d) = st.remove(j) else { continue };
                         d.lits_mut().retain(|&x| x != !l);

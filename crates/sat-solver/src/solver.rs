@@ -2,6 +2,7 @@
 
 use crate::clause_db::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
+use crate::instrument::SolverTelemetry;
 use crate::observer::SearchObserver;
 use crate::proof::ProofLogger;
 use crate::vmtf::VmtfQueue;
@@ -10,6 +11,8 @@ use crate::{
     SolveResult, SolverConfig, SolverStats,
 };
 use cnf::{Cnf, Lit, Var};
+use std::time::Instant;
+use telemetry::Phase;
 
 /// One entry in a literal's watch list.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +82,9 @@ pub struct Solver {
     min_stack: Vec<Lit>,
     proof: Option<ProofLogger>,
     observer: Option<Box<dyn SearchObserver>>,
+    /// Opt-in instrumentation; `None` (the default) costs one branch per
+    /// hook site and nothing else.
+    telemetry: Option<Box<SolverTelemetry>>,
 }
 
 impl Solver {
@@ -117,6 +123,7 @@ impl Solver {
             min_stack: Vec::new(),
             proof: None,
             observer: None,
+            telemetry: None,
         };
         for v in 0..n {
             solver.heap.insert(Var::new(v), &solver.activity);
@@ -167,6 +174,24 @@ impl Solver {
                 None
             }
         }
+    }
+
+    /// Installs a telemetry recorder (replacing any previous one). The
+    /// recorder times the solver's phases, tracks glue / clause-length /
+    /// trail-depth distributions, and emits structured events around each
+    /// subsequent `solve` call.
+    pub fn set_telemetry(&mut self, telemetry: SolverTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// Removes and returns the installed telemetry recorder.
+    pub fn take_telemetry(&mut self) -> Option<SolverTelemetry> {
+        self.telemetry.take().map(|t| *t)
+    }
+
+    /// The installed telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&SolverTelemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Solver statistics accumulated so far.
@@ -378,6 +403,7 @@ impl Solver {
     /// First-UIP conflict analysis. Returns the learned clause (asserting
     /// literal first), the backjump level, and the clause's glue.
     fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
+        let analyze_timer = self.telemetry.as_ref().map(|_| Instant::now());
         let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
         let mut counter = 0u32; // literals of the current level not yet resolved
         let mut p: Option<Lit> = None;
@@ -429,6 +455,7 @@ impl Solver {
         learned[0] = !p.expect("UIP found");
 
         // Recursive clause minimization: drop implied literals.
+        let minimize_timer = self.telemetry.as_ref().map(|_| Instant::now());
         let before = learned.len();
         let keep: Vec<Lit> = learned[1..]
             .iter()
@@ -438,6 +465,7 @@ impl Solver {
         learned.truncate(1);
         learned.extend(keep);
         self.stats.minimized_lits += (before - learned.len()) as u64;
+        let minimize_elapsed = minimize_timer.map(|start| start.elapsed());
 
         // Backjump level: second-highest level in the learned clause.
         let (bt_level, glue) = if learned.len() == 1 {
@@ -461,6 +489,16 @@ impl Solver {
 
         for v in self.analyze_toclear.drain(..) {
             self.seen[v.index() as usize] = false;
+        }
+        if let (Some(start), Some(minimize), Some(t)) = (
+            analyze_timer,
+            minimize_elapsed,
+            self.telemetry.as_deref_mut(),
+        ) {
+            // Keep the two phases disjoint: `analyze` excludes the
+            // minimization it contains, so phase totals add up.
+            t.add_phase(Phase::Analyze, start.elapsed().saturating_sub(minimize));
+            t.add_phase(Phase::Minimize, minimize);
         }
         (learned, bt_level, glue)
     }
@@ -625,6 +663,7 @@ impl Solver {
     /// Deletes low-scoring reducible learned clauses (the REDUCE step whose
     /// scoring the paper varies) and resets the frequency counters.
     fn reduce_db(&mut self) {
+        let reduce_timer = self.telemetry.as_ref().map(|_| Instant::now());
         self.stats.reductions += 1;
         let mut candidates: Vec<(u64, ClauseRef)> = Vec::new();
         for cref in self.db.iter_learned().collect::<Vec<_>>() {
@@ -642,8 +681,7 @@ impl Solver {
         }
         // Lowest scores first; ties broken by clause slot for determinism.
         candidates.sort_unstable();
-        let delete_count =
-            (candidates.len() as f64 * self.config.reduce_fraction).floor() as usize;
+        let delete_count = (candidates.len() as f64 * self.config.reduce_fraction).floor() as usize;
         for &(_, cref) in candidates.iter().take(delete_count) {
             if let Some(p) = &mut self.proof {
                 p.delete(self.db.clause(cref).lits());
@@ -659,6 +697,21 @@ impl Solver {
         if let Some(obs) = &mut self.observer {
             obs.on_reduction(self.stats.reductions, delete_count, candidates.len());
         }
+        if let Some(start) = reduce_timer {
+            let reductions = self.stats.reductions;
+            let conflicts = self.stats.conflicts;
+            let learned_after = self.db.num_learned();
+            if let Some(t) = &mut self.telemetry {
+                t.add_phase(Phase::Reduce, start.elapsed());
+                t.on_reduction(
+                    reductions,
+                    candidates.len(),
+                    delete_count,
+                    learned_after,
+                    conflicts,
+                );
+            }
+        }
         self.freq.reset();
         self.reduce_limit += self.config.reduce_inc;
     }
@@ -666,8 +719,7 @@ impl Solver {
     /// Whether the clause is the reason of some current assignment.
     fn is_reason(&self, cref: ClauseRef) -> bool {
         let first = self.db.clause(cref).lits()[0];
-        self.value(first) == LBool::True
-            && self.reason[first.var().index() as usize] == Some(cref)
+        self.value(first) == LBool::True && self.reason[first.var().index() as usize] == Some(cref)
     }
 
     /// Solves with an unlimited budget.
@@ -713,11 +765,7 @@ impl Solver {
     /// assert!(s.solve().is_sat());
     /// # Ok::<(), cnf::ParseDimacsError>(())
     /// ```
-    pub fn solve_with_assumptions(
-        &mut self,
-        assumptions: &[Lit],
-        budget: Budget,
-    ) -> SolveResult {
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
         for a in assumptions {
             assert!(
                 a.var().index() < self.num_vars,
@@ -738,7 +786,37 @@ impl Solver {
         &self.core
     }
 
+    /// Runs the CDCL loop, bracketing it with telemetry solve start/end
+    /// events when a recorder is installed. The recorder only reads state
+    /// the solver maintains anyway, so installing one never changes the
+    /// search (see the invariance test in `tests/telemetry.rs`).
     fn search(&mut self, budget: Budget) -> SolveResult {
+        if self.telemetry.is_some() {
+            let policy = self.policy.name();
+            let num_vars = u64::from(self.num_vars);
+            let num_clauses = self.db.num_original() as u64;
+            if let Some(t) = &mut self.telemetry {
+                t.on_solve_start(policy, num_vars, num_clauses);
+            }
+        }
+        let result = self.search_loop(budget);
+        if self.telemetry.is_some() {
+            let verdict = match &result {
+                SolveResult::Sat(_) => "SAT",
+                SolveResult::Unsat => "UNSAT",
+                SolveResult::Unknown => "UNKNOWN",
+            };
+            let policy = self.policy.name();
+            let stats = self.stats;
+            let db = self.db_stats();
+            if let Some(t) = &mut self.telemetry {
+                t.on_solve_end(verdict, policy, &stats, &db);
+            }
+        }
+        result
+    }
+
+    fn search_loop(&mut self, budget: Budget) -> SolveResult {
         if !self.ok {
             // The contradiction was found while loading input clauses,
             // possibly before proof logging was enabled; the empty clause is
@@ -751,7 +829,12 @@ impl Solver {
             return SolveResult::Unsat;
         }
         loop {
-            if let Some(conflict) = self.propagate() {
+            let bcp_timer = self.telemetry.as_ref().map(|_| Instant::now());
+            let conflict = self.propagate();
+            if let (Some(start), Some(t)) = (bcp_timer, self.telemetry.as_deref_mut()) {
+                t.add_phase(Phase::Propagate, start.elapsed());
+            }
+            if let Some(conflict) = conflict {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
@@ -760,6 +843,7 @@ impl Solver {
                     }
                     return SolveResult::Unsat;
                 }
+                let trail_depth = self.trail.len();
                 let (learned, bt_level, glue) = self.analyze(conflict);
                 self.stats.learned_clauses += 1;
                 self.stats.glue_sum += glue as u64;
@@ -779,14 +863,22 @@ impl Solver {
                     self.bump_clause(cref);
                     self.assign(learned[0], Some(cref));
                 }
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_conflict(glue, learned.len(), trail_depth, self.db.num_learned());
+                    t.maybe_progress(&self.stats, self.db.num_learned());
+                }
                 self.decay_activities();
                 if self.restart.on_conflict(glue) {
+                    let restart_timer = self.telemetry.as_ref().map(|_| Instant::now());
                     self.restart.on_restart();
                     self.stats.restarts += 1;
                     if let Some(obs) = &mut self.observer {
                         obs.on_restart(self.stats.restarts);
                     }
                     self.backtrack(0);
+                    if let (Some(start), Some(t)) = (restart_timer, self.telemetry.as_deref_mut()) {
+                        t.add_phase(Phase::Restart, start.elapsed());
+                    }
                 }
                 if budget.exhausted(self.stats.conflicts, self.stats.propagations) {
                     return SolveResult::Unknown;
@@ -1002,6 +1094,32 @@ pub fn solve_with_policy(
     (result, *solver.stats())
 }
 
+/// Like [`solve_with_policy`], but with a telemetry recorder installed:
+/// also returns the per-instance [`telemetry::RunRecord`] (phase timings,
+/// distributions, peak clause-DB size). Events along the way go to `sink`
+/// when one is given; pass `None` for measurement without event output.
+pub fn solve_with_policy_recorded(
+    formula: &Cnf,
+    policy: PolicyKind,
+    budget: Budget,
+    instance_id: &str,
+    sink: Option<Box<dyn telemetry::Sink>>,
+) -> (SolveResult, SolverStats, telemetry::RunRecord) {
+    let mut solver = Solver::new(formula, SolverConfig::with_policy(policy));
+    let mut recorder = SolverTelemetry::new(instance_id);
+    if let Some(sink) = sink {
+        recorder = recorder.with_sink(sink);
+    }
+    solver.set_telemetry(recorder);
+    let result = solver.solve_with_budget(budget);
+    let stats = *solver.stats();
+    let record = solver
+        .take_telemetry()
+        .and_then(SolverTelemetry::into_record)
+        .expect("solve completed with telemetry installed");
+    (result, stats, record)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1077,14 +1195,7 @@ mod tests {
     #[test]
     fn xor_chain_unsat() {
         // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is UNSAT (odd cycle)
-        let f = cnf_of(&[
-            &[1, 2],
-            &[-1, -2],
-            &[2, 3],
-            &[-2, -3],
-            &[1, 3],
-            &[-1, -3],
-        ]);
+        let f = cnf_of(&[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]]);
         assert!(Solver::from_cnf(&f).solve().is_unsat());
     }
 

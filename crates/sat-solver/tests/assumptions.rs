@@ -79,7 +79,9 @@ fn incremental_unsat_is_sticky() {
     let mut s = Solver::from_cnf(&f);
     assert!(!s.add_clause(&[lit(-1)]));
     assert!(s.solve().is_unsat());
-    assert!(s.solve_with_assumptions(&[lit(1)], Budget::unlimited()).is_unsat());
+    assert!(s
+        .solve_with_assumptions(&[lit(1)], Budget::unlimited())
+        .is_unsat());
     // formula-level UNSAT leaves no assumption core
     assert!(s.unsat_core().is_empty() || !s.unsat_core().is_empty());
 }
@@ -97,7 +99,10 @@ fn sequential_assumption_probing_reuses_learned_clauses() {
             sat_count += 1;
         }
     }
-    assert_eq!(sat_count, 4, "PHP(4,4) satisfiable under any single placement");
+    assert_eq!(
+        sat_count, 4,
+        "PHP(4,4) satisfiable under any single placement"
+    );
     // and a contradictory pair of placements in one hole is not
     let r = s.solve_with_assumptions(&[lit(1), lit(5)], Budget::unlimited());
     assert!(r.is_unsat(), "two pigeons in hole 0");
@@ -138,7 +143,7 @@ proptest! {
         }
         let assumptions: Vec<Lit> = (0..6)
             .filter(|i| assumption_bits >> i & 1 == 1)
-            .map(|i| lit(i as i32 + 1))
+            .map(|i| lit(i + 1))
             .collect();
         let mut s = Solver::from_cnf(&f);
         let r = s.solve_with_assumptions(&assumptions, Budget::unlimited());

@@ -1,0 +1,125 @@
+//! Integration tests driving the `rsat` binary end-to-end: DIMACS in,
+//! SAT-competition exit codes and `c`-comment stats out, and the
+//! `--stats-json` JSONL telemetry stream.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use telemetry::json::{FromJson, Json};
+use telemetry::{Event, SCHEMA_VERSION};
+
+/// Pigeonhole PHP(holes+1, holes) in DIMACS — small and always UNSAT.
+fn php_dimacs(holes: usize) -> String {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| p * holes + h + 1;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push(
+            (0..holes)
+                .map(|h| var(p, h).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+                + " 0",
+        );
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(format!("-{} -{} 0", var(p1, h), var(p2, h)));
+            }
+        }
+    }
+    format!(
+        "p cnf {} {}\n{}\n",
+        pigeons * holes,
+        clauses.len(),
+        clauses.join("\n")
+    )
+}
+
+/// Writes `dimacs` to a unique temp file and returns its path.
+fn temp_cnf(name: &str, dimacs: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("rsat-cli-{}-{name}.cnf", std::process::id()));
+    std::fs::write(&path, dimacs).expect("write temp cnf");
+    path
+}
+
+fn run_rsat(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rsat"))
+        .args(args)
+        .output()
+        .expect("spawn rsat")
+}
+
+#[test]
+fn unsat_instance_exits_20_with_stats_block() {
+    let cnf = temp_cnf("unsat", &php_dimacs(4));
+    let out = run_rsat(&[cnf.to_str().unwrap()]);
+    std::fs::remove_file(&cnf).ok();
+    assert_eq!(out.status.code(), Some(20));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("s UNSATISFIABLE"), "stdout: {stdout}");
+    // the c-comment stats block is on by default
+    assert!(stdout.contains("c decisions "), "stdout: {stdout}");
+}
+
+#[test]
+fn sat_instance_exits_10_with_model() {
+    let cnf = temp_cnf("sat", "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n");
+    let out = run_rsat(&[cnf.to_str().unwrap()]);
+    std::fs::remove_file(&cnf).ok();
+    assert_eq!(out.status.code(), Some(10));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("s SATISFIABLE"), "stdout: {stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("v ")),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn no_stats_silences_the_comment_block() {
+    let cnf = temp_cnf("nostats", &php_dimacs(3));
+    let out = run_rsat(&[cnf.to_str().unwrap(), "--no-stats"]);
+    std::fs::remove_file(&cnf).ok();
+    assert_eq!(out.status.code(), Some(20));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("c decisions "), "stdout: {stdout}");
+}
+
+#[test]
+fn stats_json_streams_schema_versioned_events() {
+    let cnf = temp_cnf("jsonl", &php_dimacs(4));
+    let jsonl = std::env::temp_dir().join(format!("rsat-cli-{}.jsonl", std::process::id()));
+    let out = run_rsat(&[
+        cnf.to_str().unwrap(),
+        "--stats-json",
+        jsonl.to_str().unwrap(),
+    ]);
+    let stream = std::fs::read_to_string(&jsonl).expect("read jsonl");
+    std::fs::remove_file(&cnf).ok();
+    std::fs::remove_file(&jsonl).ok();
+    assert_eq!(out.status.code(), Some(20));
+
+    let events: Vec<Event> = stream
+        .lines()
+        .map(|line| {
+            let value = Json::parse(line).expect("each line is one JSON object");
+            assert_eq!(
+                value.get("schema_version").and_then(Json::as_u64),
+                Some(u64::from(SCHEMA_VERSION))
+            );
+            Event::from_json(&value).expect("each line is a known event")
+        })
+        .collect();
+    assert!(events.len() >= 2, "expected at least start+end events");
+    assert!(matches!(&events[0], Event::SolveStart { instance_id, .. }
+        if instance_id.ends_with(".cnf")));
+    match events.last().unwrap() {
+        Event::SolveEnd { record } => {
+            assert_eq!(record.result, "UNSAT");
+            assert_eq!(record.policy, "default");
+            assert!(record.solve_time_s >= 0.0);
+        }
+        other => panic!("last event should be solve_end, got {other:?}"),
+    }
+}

@@ -1,0 +1,299 @@
+//! Fixed-bucket histograms for solver-shaped distributions (glue,
+//! learned-clause length, trail depth at conflict).
+
+use crate::json::{FromJson, FromJsonError, Json, ToJson};
+
+/// A histogram over `u64` observations with fixed bucket upper bounds.
+///
+/// Bucket `i` counts observations `v` with `v <= bounds[i]` (and greater
+/// than the previous bound); one implicit overflow bucket counts
+/// everything above the last bound. Recording is O(#buckets) with no
+/// allocation, cheap enough for per-conflict use.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::Histogram;
+/// let mut h = Histogram::with_bounds(&[2, 4, 8]);
+/// for v in [1, 2, 3, 9, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_counts(), &[2, 1, 0, 2]); // ≤2, ≤4, ≤8, overflow
+/// assert_eq!(h.max(), Some(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Linear bounds `start, start+width, …` (`count` buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `count == 0`.
+    pub fn linear(start: u64, width: u64, count: usize) -> Self {
+        assert!(width > 0 && count > 0, "need positive width and count");
+        let bounds: Vec<u64> = (0..count as u64).map(|i| start + i * width).collect();
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Exponential bounds `start, start*factor, …` (`count` buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start == 0`, `factor < 2`, or `count == 0`.
+    pub fn exponential(start: u64, factor: u64, count: usize) -> Self {
+        assert!(
+            start > 0 && factor >= 2 && count > 0,
+            "degenerate exponential bounds"
+        );
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b = b.saturating_mul(factor);
+        }
+        bounds.dedup(); // saturation can repeat u64::MAX
+        Histogram::with_bounds(&bounds)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (0.0–1.0): the smallest bucket
+    /// bound at which the cumulative count reaches `q * count`. Returns
+    /// `None` when empty; the overflow bucket reports the observed max.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("bounds", Json::from(self.bounds.clone()))
+            .with("counts", Json::from(self.counts.clone()))
+            .with("count", Json::from(self.count))
+            .with("sum", Json::from(self.sum))
+            .with("min", self.min().map_or(Json::Null, Json::from))
+            .with("max", self.max().map_or(Json::Null, Json::from))
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let u64s = |key: &str| -> Result<Vec<u64>, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or(FromJsonError::field(key))?
+                .iter()
+                .map(|v| v.as_u64().ok_or(FromJsonError::field(key)))
+                .collect()
+        };
+        let bounds = u64s("bounds")?;
+        let counts = u64s("counts")?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(FromJsonError::new(
+                "histogram counts/bounds length mismatch",
+            ));
+        }
+        let mut h = Histogram::with_bounds(&bounds);
+        h.counts = counts;
+        h.count = value
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or(FromJsonError::field("count"))?;
+        h.sum = value
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or(FromJsonError::field("sum"))?;
+        h.min = value.get("min").and_then(Json::as_u64).unwrap_or(u64::MAX);
+        h.max = value.get("max").and_then(Json::as_u64).unwrap_or(0);
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_observations() {
+        let mut h = Histogram::with_bounds(&[1, 2, 4, 8]);
+        for v in 0..=10 {
+            h.record(v);
+        }
+        // ≤1: {0,1}; ≤2: {2}; ≤4: {3,4}; ≤8: {5..=8}; overflow: {9,10}
+        assert_eq!(h.bucket_counts(), &[2, 1, 2, 4, 2]);
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(10));
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Histogram::linear(1, 2, 4).bounds(), &[1, 3, 5, 7]);
+        assert_eq!(Histogram::exponential(1, 2, 5).bounds(), &[1, 2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::exponential(1, 2, 8);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(64));
+        assert_eq!(h.quantile(1.0), Some(128));
+        assert_eq!(Histogram::linear(1, 1, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::with_bounds(&[5, 10]);
+        let mut b = a.clone();
+        a.record(3);
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[3, 2]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut h = Histogram::exponential(1, 2, 6);
+        for v in [0, 1, 5, 9, 1000] {
+            h.record(v);
+        }
+        let parsed = Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(h, parsed);
+        let empty = Histogram::linear(1, 1, 3);
+        assert_eq!(Histogram::from_json(&empty.to_json()).unwrap(), empty);
+    }
+}

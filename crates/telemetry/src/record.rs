@@ -1,0 +1,164 @@
+//! The per-instance run summary.
+
+use crate::json::{FromJson, FromJsonError, Json, ToJson};
+use crate::phase::PhaseTimes;
+use crate::SCHEMA_VERSION;
+
+/// One solved instance, summarized: identity, policy, verdict, stats,
+/// per-phase timings, and peak clause-database size.
+///
+/// `stats` and `extra` are open JSON objects filled by the producing crate
+/// (the solver serializes its `SolverStats`/`DbStats` there; experiment
+/// harnesses can attach their own fields) so this crate stays
+/// dependency-free at the bottom of the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::json::{FromJson, ToJson};
+/// use telemetry::RunRecord;
+///
+/// let mut record = RunRecord::new("php-6-5", "prop-freq");
+/// record.result = "UNSAT".to_string();
+/// record.solve_time_s = 0.125;
+/// let roundtripped = RunRecord::from_json(&record.to_json()).unwrap();
+/// assert_eq!(record, roundtripped);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Schema version of this record (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Instance identity (file name, generator tag, …).
+    pub instance_id: String,
+    /// Deletion policy the run used (display name).
+    pub policy: String,
+    /// Verdict: `"SAT"`, `"UNSAT"`, or `"UNKNOWN"`.
+    pub result: String,
+    /// Wall-clock seconds spent solving.
+    pub solve_time_s: f64,
+    /// Wall-clock seconds of model inference before solving, if any.
+    pub inference_time_s: Option<f64>,
+    /// Peak number of live learned clauses observed.
+    pub peak_learned_clauses: u64,
+    /// Per-phase wall time and call counts.
+    pub phases: PhaseTimes,
+    /// Producer-defined statistics object (e.g. serialized `SolverStats`).
+    pub stats: Json,
+    /// Producer-defined additional fields (histograms, db snapshots, …).
+    pub extra: Json,
+}
+
+impl RunRecord {
+    /// A fresh record for `instance_id` solved under `policy`.
+    pub fn new(instance_id: impl Into<String>, policy: impl Into<String>) -> Self {
+        RunRecord {
+            schema_version: SCHEMA_VERSION,
+            instance_id: instance_id.into(),
+            policy: policy.into(),
+            result: String::new(),
+            solve_time_s: 0.0,
+            inference_time_s: None,
+            peak_learned_clauses: 0,
+            phases: PhaseTimes::default(),
+            stats: Json::object(),
+            extra: Json::object(),
+        }
+    }
+}
+
+impl ToJson for RunRecord {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("schema_version", Json::from(self.schema_version))
+            .with("instance_id", Json::from(self.instance_id.as_str()))
+            .with("policy", Json::from(self.policy.as_str()))
+            .with("result", Json::from(self.result.as_str()))
+            .with("solve_time_s", Json::from(self.solve_time_s))
+            .with(
+                "inference_time_s",
+                self.inference_time_s.map_or(Json::Null, Json::from),
+            )
+            .with(
+                "peak_learned_clauses",
+                Json::from(self.peak_learned_clauses),
+            )
+            .with("phases", self.phases.to_json())
+            .with("stats", self.stats.clone())
+            .with("extra", self.extra.clone())
+    }
+}
+
+impl FromJson for RunRecord {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let str_field = |key: &str| -> Result<String, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(FromJsonError::field(key))
+        };
+        Ok(RunRecord {
+            schema_version: value
+                .get("schema_version")
+                .and_then(Json::as_u64)
+                .ok_or(FromJsonError::field("schema_version"))? as u32,
+            instance_id: str_field("instance_id")?,
+            policy: str_field("policy")?,
+            result: str_field("result")?,
+            solve_time_s: value
+                .get("solve_time_s")
+                .and_then(Json::as_f64)
+                .ok_or(FromJsonError::field("solve_time_s"))?,
+            inference_time_s: value.get("inference_time_s").and_then(Json::as_f64),
+            peak_learned_clauses: value
+                .get("peak_learned_clauses")
+                .and_then(Json::as_u64)
+                .ok_or(FromJsonError::field("peak_learned_clauses"))?,
+            phases: value
+                .get("phases")
+                .map(PhaseTimes::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            stats: value.get("stats").cloned().unwrap_or(Json::object()),
+            extra: value.get("extra").cloned().unwrap_or(Json::object()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_full_record() {
+        let mut r = RunRecord::new("inst", "default");
+        r.result = "SAT".to_string();
+        r.solve_time_s = 1.5;
+        r.inference_time_s = Some(0.01);
+        r.peak_learned_clauses = 321;
+        r.phases.add(Phase::Propagate, Duration::from_micros(7));
+        r.stats = Json::object().with("conflicts", Json::from(9u64));
+        r.extra = Json::object().with("note", Json::from("x"));
+        assert_eq!(RunRecord::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn optional_inference_time_serializes_as_null() {
+        let r = RunRecord::new("i", "p");
+        let j = r.to_json();
+        assert_eq!(j.get("inference_time_s"), Some(&Json::Null));
+        assert_eq!(RunRecord::from_json(&j).unwrap().inference_time_s, None);
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let j = RunRecord::new("i", "p").to_json();
+        let Json::Object(mut fields) = j else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "instance_id");
+        assert!(RunRecord::from_json(&Json::Object(fields)).is_err());
+    }
+}

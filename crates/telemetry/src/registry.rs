@@ -1,0 +1,187 @@
+//! A lightweight named-metrics registry.
+
+use crate::histogram::Histogram;
+use crate::json::{Json, ToJson};
+use std::collections::BTreeMap;
+
+/// Named monotonic counters, gauges, and [`Histogram`]s.
+///
+/// Keys are `&'static str` so call sites stay allocation-free; storage is
+/// a `BTreeMap`, giving deterministic (sorted) serialization order. This
+/// registry is for *cool* paths — per-reduction or per-run bookkeeping;
+/// per-conflict hot paths should own a [`Histogram`] or counter directly
+/// and fold it into a registry at the end.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::{Histogram, Registry};
+/// let mut reg = Registry::default();
+/// reg.inc("solve.restarts");
+/// reg.add("solve.conflicts", 41);
+/// reg.set_gauge("db.live_fraction", 0.75);
+/// reg.histogram("glue", || Histogram::exponential(1, 2, 8)).record(3);
+/// assert_eq!(reg.counter("solve.conflicts"), 41);
+/// assert_eq!(reg.counter("solve.restarts"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Increments a monotonic counter by 1.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a monotonic counter by `delta`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to an instantaneous value.
+    #[inline]
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, created by `init` on first use.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        init: impl FnOnce() -> Histogram,
+    ) -> &mut Histogram {
+        self.histograms.entry(name).or_insert_with(init)
+    }
+
+    /// Reads a histogram.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another registry: counters add, gauges take `other`'s value,
+    /// histograms merge (matching bounds) or are adopted when absent here.
+    pub fn merge(&mut self, other: &Registry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl ToJson for Registry {
+    fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (&k, &v) in &self.counters {
+            counters.set(k, Json::from(v));
+        }
+        let mut gauges = Json::object();
+        for (&k, &v) in &self.gauges {
+            gauges.set(k, Json::from(v));
+        }
+        let mut histograms = Json::object();
+        for (&k, h) in &self.histograms {
+            histograms.set(k, h.to_json());
+        }
+        Json::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Registry::default();
+        assert_eq!(r.counter("x"), 0);
+        r.inc("x");
+        r.add("x", 9);
+        assert_eq!(r.counter("x"), 10);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::default();
+        r.set_gauge("g", 1.0);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_create_once() {
+        let mut r = Registry::default();
+        r.histogram("h", || Histogram::linear(1, 1, 3)).record(2);
+        r.histogram("h", || panic!("must not re-init")).record(3);
+        assert_eq!(r.get_histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = Registry::default();
+        let mut b = Registry::default();
+        a.add("c", 1);
+        b.add("c", 2);
+        b.add("only_b", 5);
+        b.set_gauge("g", 9.0);
+        b.histogram("h", || Histogram::linear(1, 1, 2)).record(1);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 5);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.get_histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_shape_is_deterministic() {
+        let mut r = Registry::default();
+        r.add("b", 2);
+        r.add("a", 1);
+        let j = r.to_json();
+        let keys: Vec<&str> = j
+            .get("counters")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a", "b"]);
+        assert!(Registry::default().is_empty());
+        assert!(!r.is_empty());
+    }
+}

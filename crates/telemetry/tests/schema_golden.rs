@@ -1,0 +1,94 @@
+//! Golden-file tests pinning the JSONL event schema.
+//!
+//! Every event line carries `schema_version` (currently 1) and an `event`
+//! discriminator; the field names below are a compatibility contract with
+//! external consumers. Changing any rendered string here requires bumping
+//! [`SCHEMA_VERSION`] and updating the stability note in README.md.
+
+use std::time::Duration;
+use telemetry::json::{FromJson, Json, ToJson};
+use telemetry::{Event, Phase, RunRecord, SCHEMA_VERSION};
+
+#[test]
+fn schema_version_is_pinned() {
+    assert_eq!(SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn solve_start_event_golden() {
+    let event = Event::SolveStart {
+        instance_id: "php-6-5".to_string(),
+        policy: "prop-freq".to_string(),
+        num_vars: 30,
+        num_clauses: 81,
+    };
+    assert_eq!(
+        event.to_json().to_string(),
+        r#"{"schema_version":1,"event":"solve_start","instance_id":"php-6-5","policy":"prop-freq","num_vars":30,"num_clauses":81}"#
+    );
+}
+
+#[test]
+fn progress_event_golden() {
+    let event = Event::Progress {
+        conflicts: 1000,
+        propagations: 50000,
+        decisions: 1500,
+        learned: 400,
+        elapsed_s: 0.5,
+        conflicts_per_sec: 2000.0,
+        propagations_per_sec: 100000.0,
+    };
+    assert_eq!(
+        event.to_json().to_string(),
+        r#"{"schema_version":1,"event":"progress","conflicts":1000,"propagations":50000,"decisions":1500,"learned":400,"elapsed_s":0.5,"conflicts_per_sec":2000.0,"propagations_per_sec":100000.0}"#
+    );
+}
+
+#[test]
+fn reduction_event_golden() {
+    let event = Event::Reduction {
+        reduction_no: 3,
+        candidates: 120,
+        deleted: 60,
+        learned_after: 80,
+        conflicts: 900,
+    };
+    assert_eq!(
+        event.to_json().to_string(),
+        r#"{"schema_version":1,"event":"reduction","reduction_no":3,"candidates":120,"deleted":60,"learned_after":80,"conflicts":900}"#
+    );
+}
+
+#[test]
+fn solve_end_event_golden() {
+    let mut record = RunRecord::new("php-6-5", "default");
+    record.result = "UNSAT".to_string();
+    record.solve_time_s = 0.25;
+    record.inference_time_s = Some(0.125);
+    record.peak_learned_clauses = 42;
+    record
+        .phases
+        .add(Phase::Propagate, Duration::from_nanos(1500));
+    record.phases.add(Phase::Analyze, Duration::from_nanos(500));
+    record.stats = Json::object().with("conflicts", Json::from(77u64));
+    record.extra = Json::object().with("note", Json::from("golden"));
+    let event = Event::SolveEnd { record };
+    assert_eq!(
+        event.to_json().to_string(),
+        r#"{"schema_version":1,"event":"solve_end","record":{"schema_version":1,"instance_id":"php-6-5","policy":"default","result":"UNSAT","solve_time_s":0.25,"inference_time_s":0.125,"peak_learned_clauses":42,"phases":{"propagate":{"nanos":1500,"calls":1},"analyze":{"nanos":500,"calls":1}},"stats":{"conflicts":77},"extra":{"note":"golden"}}}"#
+    );
+}
+
+#[test]
+fn golden_lines_parse_back() {
+    for line in [
+        r#"{"schema_version":1,"event":"solve_start","instance_id":"x","policy":"default","num_vars":1,"num_clauses":1}"#,
+        r#"{"schema_version":1,"event":"progress","conflicts":1,"propagations":2,"decisions":3,"learned":4,"elapsed_s":0.5,"conflicts_per_sec":2.0,"propagations_per_sec":4.0}"#,
+        r#"{"schema_version":1,"event":"reduction","reduction_no":1,"candidates":2,"deleted":1,"learned_after":1,"conflicts":5}"#,
+    ] {
+        let value = Json::parse(line).expect("golden line parses");
+        let event = Event::from_json(&value).expect("golden line is a known event");
+        assert_eq!(event.to_json().to_string(), line, "round-trip is lossless");
+    }
+}

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     const BITS: usize = 4;
     let seq = gated_counter(BITS);
     let initial = vec![false; BITS];
-    println!(
-        "machine: {BITS}-bit gated counter | property: counter never saturates\n"
-    );
+    println!("machine: {BITS}-bit gated counter | property: counter never saturates\n");
 
     for bound in 1.. {
         let unrolled = unroll(&seq, bound, &initial);

@@ -35,9 +35,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             r_new.is_sat(),
             "policies must agree on the verdict"
         );
-        let delta =
-            100.0 * (s_def.propagations as f64 - s_new.propagations as f64)
-                / s_def.propagations.max(1) as f64;
+        let delta = 100.0 * (s_def.propagations as f64 - s_new.propagations as f64)
+            / s_def.propagations.max(1) as f64;
         let winner = if delta > 2.0 {
             wins_freq += 1;
             "prop-freq"

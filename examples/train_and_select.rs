@@ -8,12 +8,12 @@
 //! ```
 
 use neuro::{load_params, save_params, NeuroSelectConfig};
+use neuroselect::sat_gen::{competition_batch, test_batch, DatasetConfig};
+use neuroselect::sat_solver::{solve_with_policy, PolicyKind};
 use neuroselect::{
     evaluate, label_batch, positive_rate, train, Budget, LabelingConfig, NeuroSelectClassifier,
     NeuroSelectSolver, RuntimeSummary, TrainConfig,
 };
-use neuroselect::sat_gen::{competition_batch, test_batch, DatasetConfig};
-use neuroselect::sat_solver::{solve_with_policy, PolicyKind};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let history = train(
         &mut classifier,
         &train_set,
-        &TrainConfig { epochs: 40, seed: 3, balance: true },
+        &TrainConfig {
+            epochs: 40,
+            seed: 3,
+            balance: true,
+        },
     );
     println!(
         "loss: first epoch {:.4} → last epoch {:.4}",

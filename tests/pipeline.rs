@@ -31,7 +31,11 @@ fn end_to_end_label_train_evaluate_deploy() {
     let history = train(
         &mut classifier,
         &train_set,
-        &TrainConfig { epochs: 5, seed: 1, balance: true },
+        &TrainConfig {
+            epochs: 5,
+            seed: 1,
+            balance: true,
+        },
     );
     assert_eq!(history.len(), 5);
     assert!(history.iter().all(|l| l.is_finite()));
@@ -56,7 +60,15 @@ fn trained_model_survives_serialization() {
     let data = label_batch(&competition_batch("s", &data_cfg, 5), &label_cfg);
 
     let mut original = NeuroSelectClassifier::new(tiny_model(), 5e-3);
-    train(&mut original, &data, &TrainConfig { epochs: 3, seed: 2, balance: true });
+    train(
+        &mut original,
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            seed: 2,
+            balance: true,
+        },
+    );
 
     let mut buffer = Vec::new();
     save_params(&mut buffer, original.store()).expect("save");
@@ -67,7 +79,12 @@ fn trained_model_survives_serialization() {
     // predictions must be bit-identical
     for inst in &data {
         let g = original.prepare(&inst.instance.cnf);
-        assert_eq!(original.predict(&g), restored.predict(&g), "{}", inst.instance.name);
+        assert_eq!(
+            original.predict(&g),
+            restored.predict(&g),
+            "{}",
+            inst.instance.name
+        );
     }
 }
 
@@ -79,7 +96,15 @@ fn selection_respects_label_when_overfit() {
     let label_cfg = LabelingConfig::default();
     let data = label_batch(&competition_batch("o", &data_cfg, 9), &label_cfg);
     let mut classifier = NeuroSelectClassifier::new(tiny_model(), 1e-2);
-    train(&mut classifier, &data, &TrainConfig { epochs: 80, seed: 3, balance: true });
+    train(
+        &mut classifier,
+        &data,
+        &TrainConfig {
+            epochs: 80,
+            seed: 3,
+            balance: true,
+        },
+    );
 
     // only check when training actually separated the data
     let metrics = evaluate(&classifier, &data);
@@ -95,7 +120,9 @@ fn selection_respects_label_when_overfit() {
 #[test]
 fn inference_cost_is_recorded() {
     let data_cfg = DatasetConfig::tiny();
-    let f = competition_batch("i", &data_cfg, 3).instances[0].cnf.clone();
+    let f = competition_batch("i", &data_cfg, 3).instances[0]
+        .cnf
+        .clone();
     let solver = NeuroSelectSolver::new(NeuroSelectClassifier::new(tiny_model(), 1e-3));
     let out = solver.solve(&f, Budget::propagations(50_000_000));
     // inference happened (graph build + forward pass take nonzero time)

@@ -150,8 +150,5 @@ fn solver_statistics_are_consistent() {
     assert!(st.restarts <= st.conflicts);
     let db = s.db_stats();
     assert!(db.learned_clauses <= st.learned_clauses as usize);
-    assert_eq!(
-        db.live_clauses,
-        db.learned_clauses + db.original_clauses
-    );
+    assert_eq!(db.live_clauses, db.learned_clauses + db.original_clauses);
 }

@@ -1,0 +1,49 @@
+//! Test-runner configuration and the per-test random source.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the no-shrinking shim
+        // fast while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The random source threaded through strategy sampling.
+///
+/// Seeded from the test's name (FNV-1a), so each property sees a stable
+/// case stream across runs — failures reproduce without regression files.
+pub struct TestRng {
+    /// The underlying generator (public so strategies can draw directly).
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(hash),
+        }
+    }
+}
