@@ -1,15 +1,19 @@
 //! Fuzzer: generates random small CNFs, solves them with aggressive clause
-//! reduction and proof logging, and verifies every UNSAT verdict with the
-//! built-in forward RUP checker. Prints the offending formula and DRAT
-//! proof on failure. (This harness caught a real duplicate-literal bug in
-//! the checker's unit detection.)
+//! reduction and proof logging, and verifies every verdict — SAT models are
+//! replayed against the formula, UNSAT proofs through the built-in forward
+//! RUP checker — plus a full invariant audit of the final solver state on
+//! every case. Prints the offending formula and DRAT proof on failure.
+//! (This harness caught a real duplicate-literal bug in the checker's unit
+//! detection.)
 //!
 //! ```text
 //! cargo run --release -p bench --bin fuzz_proofs [-- --cases N]
 //! ```
 
 use bench::ExpArgs;
-use neuroselect::sat_solver::{check_proof, PolicyKind, RestartStrategy, Solver, SolverConfig};
+use neuroselect::sat_solver::{
+    check_proof, Checkpoint, PolicyKind, RestartStrategy, SolveResult, Solver, SolverConfig,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -52,17 +56,33 @@ fn main() {
             },
         );
         s.enable_proof();
-        if s.solve().is_unsat() {
-            unsat += 1;
-            let proof = s.take_proof().expect("proof enabled");
-            if let Err(e) = check_proof(&f, &proof) {
-                println!("FAILURE at seed {seed}: {e}");
-                println!("{}", cnf::to_dimacs_string(&f));
-                let mut out = Vec::new();
-                proof.write_drat(&mut out).expect("in-memory write");
-                println!("proof:\n{}", String::from_utf8(out).expect("ascii"));
-                std::process::exit(1);
+        let result = s.solve();
+        if let Err(e) = s.audit_invariants(Checkpoint::PostPropagate) {
+            println!("FAILURE at seed {seed}: invariant audit: {e}");
+            println!("{}", cnf::to_dimacs_string(&f));
+            std::process::exit(1);
+        }
+        match result {
+            SolveResult::Sat(model) => {
+                if let Err(e) = cnf::verify_model(&f, &model) {
+                    println!("FAILURE at seed {seed}: model verification: {e}");
+                    println!("{}", cnf::to_dimacs_string(&f));
+                    std::process::exit(1);
+                }
             }
+            SolveResult::Unsat => {
+                unsat += 1;
+                let proof = s.take_proof().expect("proof enabled");
+                if let Err(e) = check_proof(&f, &proof) {
+                    println!("FAILURE at seed {seed}: {e}");
+                    println!("{}", cnf::to_dimacs_string(&f));
+                    let mut out = Vec::new();
+                    proof.write_drat(&mut out).expect("in-memory write");
+                    println!("proof:\n{}", String::from_utf8(out).expect("ascii"));
+                    std::process::exit(1);
+                }
+            }
+            SolveResult::Unknown => {}
         }
         if seed % 10_000 == 0 && seed > 0 {
             eprintln!("…{seed} cases ({unsat} UNSAT, all proofs valid)");

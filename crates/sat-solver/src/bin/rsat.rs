@@ -3,8 +3,8 @@
 //! ```text
 //! rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]
 //!               [--conflicts N] [--propagations N] [--proof FILE.drat]
-//!               [--check-proof] [--preprocess] [--no-stats]
-//!               [--stats-json FILE.jsonl] [--progress SECS]
+//!               [--check-proof] [--check[=off|light|full]] [--preprocess]
+//!               [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]
 //! ```
 //!
 //! A `c`-comment statistics block is printed by default (`--no-stats`
@@ -17,8 +17,8 @@
 //! 20 = UNSAT, 0 = unknown/indeterminate, 1 = usage or I/O error.
 
 use sat_solver::{
-    check_proof, preprocess, Budget, PolicyKind, PreprocessConfig, Preprocessed, SolveResult,
-    Solver, SolverConfig, SolverTelemetry,
+    check_proof, preprocess, Budget, CheckLevel, Checkpoint, PolicyKind, PreprocessConfig,
+    Preprocessed, SolveResult, Solver, SolverConfig, SolverTelemetry,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -32,6 +32,7 @@ struct Options {
     budget: Budget,
     proof_path: Option<String>,
     check: bool,
+    check_level: Option<CheckLevel>,
     stats: bool,
     preprocess: bool,
     stats_json: Option<String>,
@@ -42,8 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]\n\
          \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
-         \x20             [--check-proof] [--preprocess] [--no-stats]\n\
-         \x20             [--stats-json FILE.jsonl] [--progress SECS]"
+         \x20             [--check-proof] [--check[=off|light|full]] [--preprocess]\n\
+         \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]"
     );
     std::process::exit(1)
 }
@@ -82,6 +83,7 @@ fn parse_args() -> Options {
     let mut budget = Budget::unlimited();
     let mut proof_path = None;
     let mut check = false;
+    let mut check_level = None;
     let mut stats = true;
     let mut preprocess = false;
     let mut stats_json = None;
@@ -106,6 +108,11 @@ fn parse_args() -> Options {
             }
             "--proof" => proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => check = true,
+            "--check" => check_level = Some(CheckLevel::default()),
+            level if level.starts_with("--check=") => {
+                check_level =
+                    Some(CheckLevel::parse(&level["--check=".len()..]).unwrap_or_else(|| usage()));
+            }
             "--stats" => stats = true, // default; kept for compatibility
             "--no-stats" => stats = false,
             "--preprocess" => preprocess = true,
@@ -134,6 +141,7 @@ fn parse_args() -> Options {
         budget,
         proof_path,
         check,
+        check_level,
         stats,
         preprocess,
         stats_json,
@@ -162,10 +170,14 @@ fn main() -> ExitCode {
 
     // Optional SatELite-style simplification. Proof logging covers only the
     // search phase, so --preprocess and --proof are mutually exclusive.
+    // `--check` subsumes `--check-proof`: in-search invariant auditing plus
+    // UNSAT proof replay and an end-of-solve audit.
+    let check_proof_on_unsat = opts.check || opts.check_level.is_some();
+
     let mut reconstruction = None;
     let mut search_formula = formula.clone();
     if opts.preprocess {
-        if opts.proof_path.is_some() || opts.check {
+        if opts.proof_path.is_some() || check_proof_on_unsat {
             eprintln!("rsat: --preprocess cannot be combined with proof options");
             return ExitCode::from(1);
         }
@@ -192,8 +204,23 @@ fn main() -> ExitCode {
     }
 
     let mut solver = Solver::new(&search_formula, SolverConfig::with_policy(opts.policy));
-    if opts.proof_path.is_some() || opts.check {
+    if opts.proof_path.is_some() || check_proof_on_unsat {
         solver.enable_proof();
+    }
+    if let Some(level) = opts.check_level {
+        #[cfg(feature = "checks")]
+        {
+            solver.set_check_level(level);
+            println!("c invariant checks: {level:?} (in-search checkpoints active)");
+        }
+        #[cfg(not(feature = "checks"))]
+        {
+            let _ = level;
+            println!(
+                "c note: built without the `checks` feature; in-search checkpoints \
+                 are disabled (end-of-solve audit and proof replay still run)"
+            );
+        }
     }
 
     if opts.stats_json.is_some() || opts.progress.is_some() {
@@ -219,6 +246,14 @@ fn main() -> ExitCode {
     }
 
     let result = solver.solve_with_budget(opts.budget);
+
+    if opts.check_level.is_some() {
+        if let Err(e) = solver.audit_invariants(Checkpoint::PostPropagate) {
+            eprintln!("rsat: end-of-solve invariant audit FAILED: {e}");
+            return ExitCode::from(1);
+        }
+        println!("c end-of-solve invariant audit passed");
+    }
 
     if opts.stats {
         let s = solver.stats();
@@ -316,7 +351,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        if opts.check && result.is_unsat() {
+        if check_proof_on_unsat && result.is_unsat() {
             match check_proof(&formula, &proof) {
                 Ok(()) => println!("c proof VERIFIED by the built-in RUP checker"),
                 Err(e) => {

@@ -5,6 +5,7 @@
 //! `ClauseRef`s held by watches and reasons stay valid until the owner drops
 //! them (the solver detaches watches and checks reasons before deletion).
 
+use crate::varmap::at;
 use cnf::Lit;
 use std::fmt;
 
@@ -48,10 +49,16 @@ impl StoredClause {
         &self.lits
     }
 
-    /// Mutable literal access (the solver reorders watches in place).
+    /// The literal at position `k` (bounds-audited).
     #[inline]
-    pub fn lits_mut(&mut self) -> &mut [Lit] {
-        &mut self.lits
+    pub fn lit(&self, k: usize) -> Lit {
+        at(&self.lits, k)
+    }
+
+    /// Swaps the literals at positions `a` and `b` (watch reordering).
+    #[inline]
+    pub fn swap_lits(&mut self, a: usize, b: usize) {
+        self.lits.swap(a, b);
     }
 
     /// Number of literals.
@@ -81,10 +88,10 @@ impl ClauseDb {
     ///
     /// # Panics
     ///
-    /// Panics if `lits` has fewer than two literals; unit and empty clauses
-    /// are handled on the trail, not stored.
+    /// Panics in debug builds if `lits` has fewer than two literals; unit
+    /// and empty clauses are handled on the trail, not stored.
     pub fn add(&mut self, lits: Vec<Lit>, learned: bool, glue: u32) -> ClauseRef {
-        assert!(lits.len() >= 2, "stored clauses must have >= 2 literals");
+        debug_assert!(lits.len() >= 2, "stored clauses must have >= 2 literals");
         if learned {
             self.num_learned += 1;
             self.lits_in_learned += lits.len();
@@ -101,14 +108,30 @@ impl ClauseDb {
         };
         match self.free.pop() {
             Some(slot) => {
-                self.clauses[slot as usize] = clause;
-                ClauseRef(slot)
+                let cref = ClauseRef(slot);
+                *self.slot_mut(cref) = clause;
+                cref
             }
             None => {
                 self.clauses.push(clause);
                 ClauseRef(self.clauses.len() as u32 - 1)
             }
         }
+    }
+
+    /// The slab slot behind `cref`: the single audited indexing site of
+    /// this module (`ClauseRef`s are only minted by [`ClauseDb::add`]).
+    #[inline]
+    fn slot(&self, cref: ClauseRef) -> &StoredClause {
+        debug_assert!(cref.index() < self.clauses.len(), "dangling {cref:?}");
+        &self.clauses[cref.index()] // xtask: allow(no-index) audited slab access
+    }
+
+    /// Mutable counterpart of [`ClauseDb::slot`].
+    #[inline]
+    fn slot_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
+        debug_assert!(cref.index() < self.clauses.len(), "dangling {cref:?}");
+        &mut self.clauses[cref.index()] // xtask: allow(no-index) audited slab access
     }
 
     /// Accesses a live clause.
@@ -118,7 +141,7 @@ impl ClauseDb {
     /// Panics if `cref` refers to a deleted clause (debug builds).
     #[inline]
     pub fn clause(&self, cref: ClauseRef) -> &StoredClause {
-        let c = &self.clauses[cref.index()];
+        let c = self.slot(cref);
         debug_assert!(!c.garbage, "access to deleted clause {cref:?}");
         c
     }
@@ -126,30 +149,32 @@ impl ClauseDb {
     /// Mutable access to a live clause.
     #[inline]
     pub fn clause_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
-        let c = &mut self.clauses[cref.index()];
+        let c = self.slot_mut(cref);
         debug_assert!(!c.garbage, "access to deleted clause {cref:?}");
         c
     }
 
     /// Marks a clause deleted and recycles its slot.
     pub fn remove(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref.index()];
-        debug_assert!(!c.garbage, "double delete of {cref:?}");
-        if c.learned {
+        let (learned, len) = {
+            let c = self.slot_mut(cref);
+            debug_assert!(!c.garbage, "double delete of {cref:?}");
+            c.garbage = true;
+            (c.learned, std::mem::take(&mut c.lits).len())
+        };
+        if learned {
             self.num_learned -= 1;
-            self.lits_in_learned -= c.lits.len();
+            self.lits_in_learned -= len;
         } else {
             self.num_original -= 1;
         }
-        c.garbage = true;
-        c.lits = Vec::new();
         self.free.push(cref.index() as u32);
     }
 
     /// Whether the handle refers to a live clause.
     #[inline]
     pub fn is_live(&self, cref: ClauseRef) -> bool {
-        !self.clauses[cref.index()].garbage
+        !self.slot(cref).garbage
     }
 
     /// Number of live learned clauses.

@@ -1,8 +1,9 @@
 //! Max-heap over variables ordered by VSIDS activity.
 
+use crate::varmap::{at, VarMap};
 use cnf::Var;
 
-/// A binary max-heap of variables keyed by an external activity array,
+/// A binary max-heap of variables keyed by an external activity map,
 /// with O(log n) increase-key via an index table.
 ///
 /// The solver keeps every unassigned variable in the heap; popping yields
@@ -10,8 +11,8 @@ use cnf::Var;
 #[derive(Debug, Default, Clone)]
 pub struct VarHeap {
     heap: Vec<Var>,
-    /// position[v] = index in `heap`, or `usize::MAX` when absent.
-    position: Vec<usize>,
+    /// `position.get(v)` = index in `heap`, or `usize::MAX` when absent.
+    position: VarMap<usize>,
 }
 
 const ABSENT: usize = usize::MAX;
@@ -21,63 +22,62 @@ impl VarHeap {
     pub fn new(num_vars: u32) -> Self {
         VarHeap {
             heap: Vec::with_capacity(num_vars as usize),
-            position: vec![ABSENT; num_vars as usize],
+            position: VarMap::new(num_vars, ABSENT),
         }
     }
 
     /// Number of variables currently in the heap.
-    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// Whether `v` is in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.position[v.index() as usize] != ABSENT
+        self.position.get(v) != ABSENT
     }
 
     /// Inserts `v` if absent.
-    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+    pub fn insert(&mut self, v: Var, activity: &VarMap<f64>) {
         if self.contains(v) {
             return;
         }
-        self.position[v.index() as usize] = self.heap.len();
+        self.position.set(v, self.heap.len());
         self.heap.push(v);
         self.sift_up(self.heap.len() - 1, activity);
     }
 
     /// Removes and returns the variable with maximal activity.
-    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
-        let top = *self.heap.first()?;
-        let last = self.heap.pop().expect("non-empty");
-        self.position[top.index() as usize] = ABSENT;
-        if !self.heap.is_empty() {
-            self.heap[0] = last;
-            self.position[last.index() as usize] = 0;
+    pub fn pop(&mut self, activity: &VarMap<f64>) -> Option<Var> {
+        let top = self.heap.first().copied()?;
+        let last = self.heap.pop()?;
+        self.position.set(top, ABSENT);
+        if let Some(root) = self.heap.first_mut() {
+            *root = last;
+            self.position.set(last, 0);
             self.sift_down(0, activity);
         }
         Some(top)
     }
 
     /// Restores heap order after `v`'s activity increased.
-    pub fn update(&mut self, v: Var, activity: &[f64]) {
-        let pos = self.position[v.index() as usize];
+    pub fn update(&mut self, v: Var, activity: &VarMap<f64>) {
+        let pos = self.position.get(v);
         if pos != ABSENT {
             self.sift_up(pos, activity);
         }
     }
 
-    fn key(&self, i: usize, activity: &[f64]) -> f64 {
-        activity[self.heap[i].index() as usize]
+    fn key(&self, i: usize, activity: &VarMap<f64>) -> f64 {
+        activity.get(at(&self.heap, i))
     }
 
     fn swap(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.position[self.heap[a].index() as usize] = a;
-        self.position[self.heap[b].index() as usize] = b;
+        self.position.set(at(&self.heap, a), a);
+        self.position.set(at(&self.heap, b), b);
     }
 
-    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+    fn sift_up(&mut self, mut i: usize, activity: &VarMap<f64>) {
         while i > 0 {
             let parent = (i - 1) / 2;
             if self.key(i, activity) <= self.key(parent, activity) {
@@ -88,7 +88,7 @@ impl VarHeap {
         }
     }
 
-    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+    fn sift_down(&mut self, mut i: usize, activity: &VarMap<f64>) {
         loop {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
@@ -107,15 +107,31 @@ impl VarHeap {
         }
     }
 
-    #[cfg(test)]
-    fn check_invariant(&self, activity: &[f64]) {
+    /// Verifies the heap-order property and the position-table inverse.
+    ///
+    /// Shared by the unit tests below and the runtime invariant auditor
+    /// (`check.rs`); returns a description of the first violation found.
+    pub(crate) fn check_invariant(&self, activity: &VarMap<f64>) -> Result<(), String> {
         for i in 1..self.heap.len() {
             let parent = (i - 1) / 2;
-            assert!(self.key(parent, activity) >= self.key(i, activity));
+            if self.key(parent, activity) < self.key(i, activity) {
+                return Err(format!(
+                    "heap order violated at slot {i}: parent key {} < child key {}",
+                    self.key(parent, activity),
+                    self.key(i, activity)
+                ));
+            }
         }
         for (i, &v) in self.heap.iter().enumerate() {
-            assert_eq!(self.position[v.index() as usize], i);
+            if self.position.get(v) != i {
+                return Err(format!(
+                    "position table stale: variable {} at slot {i} recorded at {}",
+                    v.index(),
+                    self.position.get(v)
+                ));
+            }
         }
+        Ok(())
     }
 }
 
@@ -123,14 +139,20 @@ impl VarHeap {
 mod tests {
     use super::*;
 
+    fn check(h: &VarHeap, activity: &VarMap<f64>) {
+        if let Err(e) = h.check_invariant(activity) {
+            panic!("heap invariant broken: {e}");
+        }
+    }
+
     #[test]
     fn pops_in_activity_order() {
-        let activity = vec![0.5, 2.0, 1.0, 3.0];
+        let activity = VarMap::from_vec(vec![0.5, 2.0, 1.0, 3.0]);
         let mut h = VarHeap::new(4);
         for i in 0..4 {
             h.insert(Var::new(i), &activity);
         }
-        h.check_invariant(&activity);
+        check(&h, &activity);
         let order: Vec<u32> = std::iter::from_fn(|| h.pop(&activity))
             .map(|v| v.index())
             .collect();
@@ -139,7 +161,7 @@ mod tests {
 
     #[test]
     fn insert_is_idempotent() {
-        let activity = vec![1.0; 3];
+        let activity = VarMap::new(3, 1.0);
         let mut h = VarHeap::new(3);
         h.insert(Var::new(1), &activity);
         h.insert(Var::new(1), &activity);
@@ -148,28 +170,28 @@ mod tests {
 
     #[test]
     fn update_after_bump() {
-        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut activity = VarMap::from_vec(vec![1.0, 2.0, 3.0]);
         let mut h = VarHeap::new(3);
         for i in 0..3 {
             h.insert(Var::new(i), &activity);
         }
-        activity[0] = 10.0;
+        activity.set(Var::new(0), 10.0);
         h.update(Var::new(0), &activity);
-        h.check_invariant(&activity);
+        check(&h, &activity);
         assert_eq!(h.pop(&activity), Some(Var::new(0)));
     }
 
     #[test]
     fn reinsert_after_pop() {
-        let activity = vec![1.0, 2.0];
+        let activity = VarMap::from_vec(vec![1.0, 2.0]);
         let mut h = VarHeap::new(2);
         h.insert(Var::new(0), &activity);
         h.insert(Var::new(1), &activity);
-        let top = h.pop(&activity).unwrap();
+        let top = h.pop(&activity).expect("non-empty heap");
         assert!(!h.contains(top));
         h.insert(top, &activity);
         assert!(h.contains(top));
-        h.check_invariant(&activity);
+        check(&h, &activity);
     }
 
     #[test]
@@ -177,7 +199,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
         let n = 64u32;
-        let mut activity: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let mut activity = VarMap::from_vec((0..n).map(|_| rng.gen::<f64>()).collect());
         let mut h = VarHeap::new(n);
         for _ in 0..2000 {
             match rng.gen_range(0..4) {
@@ -186,12 +208,12 @@ mod tests {
                     let _ = h.pop(&activity);
                 }
                 _ => {
-                    let v = rng.gen_range(0..n) as usize;
-                    activity[v] += rng.gen::<f64>();
-                    h.update(Var::new(v as u32), &activity);
+                    let v = Var::new(rng.gen_range(0..n));
+                    *activity.get_mut(v) += rng.gen::<f64>();
+                    h.update(v, &activity);
                 }
             }
-            h.check_invariant(&activity);
+            check(&h, &activity);
         }
     }
 }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod check;
 mod clause_db;
 mod config;
 mod freq;
@@ -47,8 +48,10 @@ mod preprocess;
 mod proof;
 mod restart;
 mod solver;
+mod varmap;
 mod vmtf;
 
+pub use check::{CheckError, CheckLevel};
 pub use config::{Budget, SolveResult, SolverConfig, SolverStats};
 pub use freq::FrequencyTable;
 pub use instrument::SolverTelemetry;
@@ -60,4 +63,6 @@ pub use policy::{
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed, Reconstruction};
 pub use proof::{check_proof, ProofError, ProofLogger, ProofStep};
 pub use restart::{luby, RestartScheduler, RestartStrategy};
-pub use solver::{solve_with_policy, solve_with_policy_recorded, Branching, DbStats, Solver};
+pub use solver::{
+    solve_with_policy, solve_with_policy_recorded, Branching, Checkpoint, DbStats, Solver,
+};

@@ -5,6 +5,7 @@ use crate::heap::VarHeap;
 use crate::instrument::SolverTelemetry;
 use crate::observer::SearchObserver;
 use crate::proof::ProofLogger;
+use crate::varmap::{at, LitMap, VarMap};
 use crate::vmtf::VmtfQueue;
 use crate::{
     Budget, ClauseScoreCtx, DeletionPolicy, FrequencyTable, LBool, PolicyKind, RestartScheduler,
@@ -16,11 +17,11 @@ use telemetry::Phase;
 
 /// One entry in a literal's watch list.
 #[derive(Clone, Copy, Debug)]
-struct Watch {
-    cref: ClauseRef,
+pub(crate) struct Watch {
+    pub(crate) cref: ClauseRef,
     /// A cached other literal of the clause; if it is already true the
     /// clause is satisfied and the watch can be skipped cheaply.
-    blocker: Lit,
+    pub(crate) blocker: Lit,
 }
 
 /// A conflict-driven clause-learning SAT solver with pluggable
@@ -45,31 +46,31 @@ struct Watch {
 /// # Ok::<(), cnf::ParseDimacsError>(())
 /// ```
 pub struct Solver {
-    num_vars: u32,
-    db: ClauseDb,
-    /// Indexed by `Lit::code()`; clauses in `watches[l]` have `!l` among
-    /// their first two literals.
-    watches: Vec<Vec<Watch>>,
-    assigns: Vec<LBool>,
-    level: Vec<u32>,
-    reason: Vec<Option<ClauseRef>>,
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
-    activity: Vec<f64>,
+    pub(crate) num_vars: u32,
+    pub(crate) db: ClauseDb,
+    /// `watches.get(l)` holds clauses with `!l` among their first two
+    /// literals.
+    pub(crate) watches: LitMap<Vec<Watch>>,
+    pub(crate) assigns: VarMap<LBool>,
+    pub(crate) level: VarMap<u32>,
+    pub(crate) reason: VarMap<Option<ClauseRef>>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    pub(crate) activity: VarMap<f64>,
     var_inc: f64,
-    heap: VarHeap,
-    saved_phase: Vec<bool>,
-    vmtf: VmtfQueue,
+    pub(crate) heap: VarHeap,
+    saved_phase: VarMap<bool>,
+    pub(crate) vmtf: VmtfQueue,
     rng_state: u64,
-    freq: FrequencyTable,
-    freq_total: FrequencyTable,
+    pub(crate) freq: FrequencyTable,
+    pub(crate) freq_total: FrequencyTable,
     policy: Box<dyn DeletionPolicy>,
     restart: RestartScheduler,
     cla_inc: f64,
     reduce_limit: usize,
     stats: SolverStats,
-    config: SolverConfig,
+    pub(crate) config: SolverConfig,
     /// False once unsatisfiability was established at level 0.
     ok: bool,
     /// Assumptions for the current `solve_with_assumptions` call.
@@ -77,7 +78,7 @@ pub struct Solver {
     /// The failed-assumption core of the last assumption-UNSAT result.
     core: Vec<Lit>,
     // conflict-analysis scratch space
-    seen: Vec<bool>,
+    seen: VarMap<bool>,
     analyze_toclear: Vec<Var>,
     min_stack: Vec<Lit>,
     proof: Option<ProofLogger>,
@@ -85,6 +86,10 @@ pub struct Solver {
     /// Opt-in instrumentation; `None` (the default) costs one branch per
     /// hook site and nothing else.
     telemetry: Option<Box<SolverTelemetry>>,
+    /// In-search invariant auditing level (see `check.rs`); `Off` costs one
+    /// branch per checkpoint. Only present with the `checks` feature.
+    #[cfg(feature = "checks")]
+    pub(crate) check_level: crate::check::CheckLevel,
 }
 
 impl Solver {
@@ -94,17 +99,17 @@ impl Solver {
         let mut solver = Solver {
             num_vars: n,
             db: ClauseDb::new(),
-            watches: vec![Vec::new(); 2 * n as usize],
-            assigns: vec![LBool::Undef; n as usize],
-            level: vec![0; n as usize],
-            reason: vec![None; n as usize],
+            watches: LitMap::new(n, Vec::new()),
+            assigns: VarMap::new(n, LBool::Undef),
+            level: VarMap::new(n, 0),
+            reason: VarMap::new(n, None),
             trail: Vec::with_capacity(n as usize),
             trail_lim: Vec::new(),
             qhead: 0,
-            activity: vec![0.0; n as usize],
+            activity: VarMap::new(n, 0.0),
             var_inc: 1.0,
             heap: VarHeap::new(n),
-            saved_phase: vec![config.initial_phase; n as usize],
+            saved_phase: VarMap::new(n, config.initial_phase),
             vmtf: VmtfQueue::new(n),
             rng_state: config.seed | 1,
             freq: FrequencyTable::new(n),
@@ -118,12 +123,14 @@ impl Solver {
             ok: true,
             assumptions: Vec::new(),
             core: Vec::new(),
-            seen: vec![false; n as usize],
+            seen: VarMap::new(n, false),
             analyze_toclear: Vec::new(),
             min_stack: Vec::new(),
             proof: None,
             observer: None,
             telemetry: None,
+            #[cfg(feature = "checks")]
+            check_level: crate::check::CheckLevel::default(),
         };
         for v in 0..n {
             solver.heap.insert(Var::new(v), &solver.activity);
@@ -225,9 +232,12 @@ impl Solver {
     /// A snapshot of the clause database's current composition.
     pub fn db_stats(&self) -> DbStats {
         let mut glue_histogram = [0usize; 8];
+        let last_bucket = glue_histogram.len() - 1;
         for cref in self.db.iter_learned() {
             let g = self.db.clause(cref).glue as usize;
-            glue_histogram[g.min(glue_histogram.len() - 1)] += 1;
+            if let Some(bucket) = glue_histogram.get_mut(g.min(last_bucket)) {
+                *bucket += 1;
+            }
         }
         DbStats {
             original_clauses: self.db.num_original(),
@@ -259,22 +269,22 @@ impl Solver {
                 c.push(l);
             }
         }
-        match c.len() {
-            0 => {
+        match *c.as_slice() {
+            [] => {
                 self.ok = false;
                 if let Some(p) = &mut self.proof {
                     p.add_empty();
                 }
                 false
             }
-            1 => {
-                self.assign(c[0], None);
+            [unit] => {
+                self.assign(unit, None);
                 // Root-level units forced by the input count as
                 // propagations for the frequency metric, like the BCP that
                 // a lazier loader would perform.
                 self.stats.propagations += 1;
-                self.freq.bump(c[0].var());
-                self.freq_total.bump(c[0].var());
+                self.freq.bump(unit.var());
+                self.freq_total.bump(unit.var());
                 // Propagate eagerly so later clauses see the implications.
                 if self.propagate().is_some() {
                     self.ok = false;
@@ -293,12 +303,12 @@ impl Solver {
     }
 
     #[inline]
-    fn value(&self, l: Lit) -> LBool {
-        self.assigns[l.var().index() as usize].xor(l.is_negated())
+    pub(crate) fn value(&self, l: Lit) -> LBool {
+        self.assigns.get(l.var()).xor(l.is_negated())
     }
 
     #[inline]
-    fn decision_level(&self) -> u32 {
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
@@ -306,25 +316,25 @@ impl Solver {
     fn attach(&mut self, cref: ClauseRef) {
         let c = self.db.clause(cref);
         debug_assert!(c.len() >= 2);
-        let l0 = c.lits()[0];
-        let l1 = c.lits()[1];
-        self.watches[(!l0).code() as usize].push(Watch { cref, blocker: l1 });
-        self.watches[(!l1).code() as usize].push(Watch { cref, blocker: l0 });
+        let l0 = c.lit(0);
+        let l1 = c.lit(1);
+        self.watches.get_mut(!l0).push(Watch { cref, blocker: l1 });
+        self.watches.get_mut(!l1).push(Watch { cref, blocker: l0 });
     }
 
     /// Detaches both watches of the clause.
     fn detach(&mut self, cref: ClauseRef) {
         debug_assert!(self.db.is_live(cref), "detach of a deleted clause");
         let c = self.db.clause(cref);
-        let l0 = c.lits()[0];
-        let l1 = c.lits()[1];
+        let l0 = c.lit(0);
+        let l1 = c.lit(1);
         for l in [l0, l1] {
-            let ws = &mut self.watches[(!l).code() as usize];
-            let pos = ws
-                .iter()
-                .position(|w| w.cref == cref)
-                .expect("watch must exist");
-            ws.swap_remove(pos);
+            let ws = self.watches.get_mut(!l);
+            if let Some(pos) = ws.iter().position(|w| w.cref == cref) {
+                ws.swap_remove(pos);
+            } else {
+                debug_assert!(false, "watch of {cref:?} must exist on {l}");
+            }
         }
     }
 
@@ -332,29 +342,33 @@ impl Solver {
     /// reason clause, pushing it onto the trail.
     fn assign(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.value(l), LBool::Undef);
-        let v = l.var().index() as usize;
-        self.assigns[v] = LBool::from(l.is_positive());
-        self.level[v] = self.decision_level();
-        self.reason[v] = reason;
+        let v = l.var();
+        self.assigns.set(v, LBool::from(l.is_positive()));
+        self.level.set(v, self.decision_level());
+        self.reason.set(v, reason);
         self.trail.push(l);
         if reason.is_some() {
             // A unit propagation: this is the event counted by the paper's
             // propagation-frequency metric.
             self.stats.propagations += 1;
-            self.freq.bump(l.var());
-            self.freq_total.bump(l.var());
+            self.freq.bump(v);
+            self.freq_total.bump(v);
         }
     }
 
     /// Boolean constraint propagation. Returns the conflicting clause, if any.
     fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
+            let p = at(&self.trail, self.qhead);
             self.qhead += 1;
+            // Take `p`'s watch list out so the rest of `self` stays freely
+            // borrowable; propagation never pushes onto this same list
+            // (the replacement watch literal is non-false, `!p` is false).
+            let mut ws = std::mem::take(self.watches.get_mut(p));
+            let mut conflict = None;
             let mut i = 0;
-            // We process watches[p]: clauses in which !p is watched.
-            'watches: while i < self.watches[p.code() as usize].len() {
-                let Watch { cref, blocker } = self.watches[p.code() as usize][i];
+            'watches: while i < ws.len() {
+                let Watch { cref, blocker } = at(&ws, i);
                 if self.value(blocker) == LBool::True {
                     i += 1;
                     continue;
@@ -363,26 +377,28 @@ impl Solver {
                 {
                     let c = self.db.clause_mut(cref);
                     // Ensure the false literal is at position 1.
-                    if c.lits()[0] == false_lit {
-                        c.lits_mut().swap(0, 1);
+                    if c.lit(0) == false_lit {
+                        c.swap_lits(0, 1);
                     }
-                    debug_assert_eq!(c.lits()[1], false_lit);
+                    debug_assert_eq!(c.lit(1), false_lit);
                 }
-                let first = self.db.clause(cref).lits()[0];
+                let first = self.db.clause(cref).lit(0);
                 if first != blocker && self.value(first) == LBool::True {
                     // Clause already satisfied; refresh blocker.
-                    self.watches[p.code() as usize][i].blocker = first;
+                    if let Some(w) = ws.get_mut(i) {
+                        w.blocker = first;
+                    }
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
                 let len = self.db.clause(cref).len();
                 for k in 2..len {
-                    let lk = self.db.clause(cref).lits()[k];
+                    let lk = self.db.clause(cref).lit(k);
                     if self.value(lk) != LBool::False {
-                        self.db.clause_mut(cref).lits_mut().swap(1, k);
-                        self.watches[p.code() as usize].swap_remove(i);
-                        self.watches[(!lk).code() as usize].push(Watch {
+                        self.db.clause_mut(cref).swap_lits(1, k);
+                        ws.swap_remove(i);
+                        self.watches.get_mut(!lk).push(Watch {
                             cref,
                             blocker: first,
                         });
@@ -391,10 +407,15 @@ impl Solver {
                 }
                 // No new watch: clause is unit or conflicting.
                 if self.value(first) == LBool::False {
-                    return Some(cref); // conflict; qhead stays put
+                    conflict = Some(cref); // conflict; qhead stays put
+                    break;
                 }
                 self.assign(first, Some(cref));
                 i += 1;
+            }
+            *self.watches.get_mut(p) = ws;
+            if conflict.is_some() {
+                return conflict;
             }
         }
         None
@@ -406,24 +427,25 @@ impl Solver {
         let analyze_timer = self.telemetry.as_ref().map(|_| Instant::now());
         let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
         let mut counter = 0u32; // literals of the current level not yet resolved
-        let mut p: Option<Lit> = None;
+        let mut resolved: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut cref = conflict;
         let current_level = self.decision_level();
 
-        loop {
+        let uip = loop {
             self.bump_clause(cref);
-            // Iterate the clause's literals; skip the resolved literal p.
+            // Iterate the clause's literals; skip the resolved literal,
+            // which sits at position 0 of its reason clause.
             let clen = self.db.clause(cref).len();
-            let start = if p.is_some() { 1 } else { 0 };
+            let start = usize::from(resolved.is_some());
             for k in start..clen {
-                let q = self.db.clause(cref).lits()[k];
-                let v = q.var().index() as usize;
-                if !self.seen[v] && self.level[v] > 0 {
-                    self.seen[v] = true;
-                    self.analyze_toclear.push(q.var());
-                    self.bump_var(q.var());
-                    if self.level[v] >= current_level {
+                let q = self.db.clause(cref).lit(k);
+                let v = q.var();
+                if !self.seen.get(v) && self.level.get(v) > 0 {
+                    self.seen.set(v, true);
+                    self.analyze_toclear.push(v);
+                    self.bump_var(v);
+                    if self.level.get(v) >= current_level {
                         counter += 1;
                     } else {
                         learned.push(q);
@@ -431,35 +453,43 @@ impl Solver {
                 }
             }
             // Find the next literal of the current level on the trail.
-            loop {
+            let q = loop {
+                debug_assert!(index > 0, "trail exhausted during analysis");
                 index -= 1;
-                if self.seen[self.trail[index].var().index() as usize] {
-                    break;
+                let t = at(&self.trail, index);
+                if self.seen.get(t.var()) {
+                    break t;
                 }
-            }
-            let q = self.trail[index];
+            };
             counter -= 1;
             if counter == 0 {
-                p = Some(q);
-                break;
+                break q; // q is the first UIP
             }
-            cref = self.reason[q.var().index() as usize]
-                .expect("non-decision literal must have a reason");
+            let Some(r) = self.reason.get(q.var()) else {
+                debug_assert!(false, "non-decision literal {q} must have a reason");
+                break q;
+            };
+            cref = r;
             // q is resolved away; its slot in `seen` stays set so the trail
             // walk above skips already-processed literals, but we must make
             // sure the reason clause iteration skips q itself: reason[q][0]
             // is q by the assertion invariant of `assign`.
-            debug_assert_eq!(self.db.clause(cref).lits()[0], q);
-            p = Some(q);
+            debug_assert_eq!(self.db.clause(cref).lit(0), q);
+            resolved = Some(q);
+        };
+        if let Some(slot) = learned.first_mut() {
+            *slot = !uip;
         }
-        learned[0] = !p.expect("UIP found");
 
         // Recursive clause minimization: drop implied literals.
         let minimize_timer = self.telemetry.as_ref().map(|_| Instant::now());
         let before = learned.len();
-        let keep: Vec<Lit> = learned[1..]
+        let keep: Vec<Lit> = learned
             .iter()
+            .skip(1)
             .copied()
+            .collect::<Vec<_>>()
+            .into_iter()
             .filter(|&l| !self.lit_redundant(l))
             .collect();
         learned.truncate(1);
@@ -474,21 +504,21 @@ impl Solver {
             // Move the highest-level non-UIP literal to position 1 so it is
             // watched; it becomes false on backjump and wakes the clause.
             let mut max_i = 1;
-            for i in 2..learned.len() {
-                if self.level[learned[i].var().index() as usize]
-                    > self.level[learned[max_i].var().index() as usize]
-                {
+            let mut max_level = self.level.get(at(&learned, 1).var());
+            for (i, &l) in learned.iter().enumerate().skip(2) {
+                let lvl = self.level.get(l.var());
+                if lvl > max_level {
+                    max_level = lvl;
                     max_i = i;
                 }
             }
             learned.swap(1, max_i);
-            let bt = self.level[learned[1].var().index() as usize];
             let glue = self.compute_glue(&learned);
-            (bt, glue)
+            (max_level, glue)
         };
 
         for v in self.analyze_toclear.drain(..) {
-            self.seen[v.index() as usize] = false;
+            self.seen.set(v, false);
         }
         if let (Some(start), Some(minimize), Some(t)) = (
             analyze_timer,
@@ -505,10 +535,7 @@ impl Solver {
 
     /// Glue (LBD): number of distinct decision levels among the literals.
     fn compute_glue(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index() as usize])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level.get(l.var())).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -518,7 +545,7 @@ impl Solver {
     /// ancestry stays within already-seen literals (recursive minimization,
     /// iterative formulation).
     fn lit_redundant(&mut self, l: Lit) -> bool {
-        if self.reason[l.var().index() as usize].is_none() {
+        if self.reason.get(l.var()).is_none() {
             return false; // decisions are never redundant
         }
         self.min_stack.clear();
@@ -526,24 +553,24 @@ impl Solver {
         let mut visited: Vec<Var> = Vec::new();
         let mut redundant = true;
         while let Some(q) = self.min_stack.pop() {
-            let Some(r) = self.reason[q.var().index() as usize] else {
+            let Some(r) = self.reason.get(q.var()) else {
                 redundant = false;
                 break;
             };
             let rlen = self.db.clause(r).len();
             for k in 1..rlen {
-                let a = self.db.clause(r).lits()[k];
-                let v = a.var().index() as usize;
-                if self.seen[v] || self.level[v] == 0 {
+                let a = self.db.clause(r).lit(k);
+                let v = a.var();
+                if self.seen.get(v) || self.level.get(v) == 0 {
                     continue;
                 }
-                if self.reason[v].is_none() {
+                if self.reason.get(v).is_none() {
                     redundant = false;
                     break;
                 }
                 // Tentatively mark and descend.
-                self.seen[v] = true;
-                visited.push(a.var());
+                self.seen.set(v, true);
+                visited.push(v);
                 self.min_stack.push(a);
             }
             if !redundant {
@@ -556,7 +583,7 @@ impl Solver {
             self.analyze_toclear.extend(visited);
         } else {
             for v in visited {
-                self.seen[v.index() as usize] = false;
+                self.seen.set(v, false);
             }
         }
         redundant
@@ -566,10 +593,10 @@ impl Solver {
         if self.config.branching == Branching::Vmtf {
             self.vmtf.bump(v);
         }
-        let a = &mut self.activity[v.index() as usize];
+        let a = self.activity.get_mut(v);
         *a += self.var_inc;
         if *a > 1e100 {
-            for act in &mut self.activity {
+            for act in self.activity.iter_mut() {
                 *act *= 1e-100;
             }
             self.var_inc *= 1e-100;
@@ -600,13 +627,14 @@ impl Solver {
         if self.decision_level() <= target_level {
             return;
         }
-        let target_len = self.trail_lim[target_level as usize];
-        for &l in &self.trail[target_len..] {
-            let v = l.var().index() as usize;
-            self.saved_phase[v] = l.is_positive();
-            self.assigns[v] = LBool::Undef;
-            self.reason[v] = None;
-            self.heap.insert(l.var(), &self.activity);
+        let target_len = at(&self.trail_lim, target_level as usize);
+        for idx in target_len..self.trail.len() {
+            let l = at(&self.trail, idx);
+            let v = l.var();
+            self.saved_phase.set(v, l.is_positive());
+            self.assigns.set(v, LBool::Undef);
+            self.reason.set(v, None);
+            self.heap.insert(v, &self.activity);
         }
         self.trail.truncate(target_len);
         self.trail_lim.truncate(target_level as usize);
@@ -620,7 +648,7 @@ impl Solver {
             Branching::Evsids => {
                 let mut picked = None;
                 while let Some(v) = self.heap.pop(&self.activity) {
-                    if !self.assigns[v.index() as usize].is_assigned() {
+                    if !self.assigns.get(v).is_assigned() {
                         picked = Some(v);
                         break;
                     }
@@ -629,12 +657,11 @@ impl Solver {
             }
             Branching::Vmtf => {
                 let assigns = &self.assigns;
-                self.vmtf
-                    .next_unassigned(|v| !assigns[v.index() as usize].is_assigned())
+                self.vmtf.next_unassigned(|v| !assigns.get(v).is_assigned())
             }
             Branching::Random => self.pick_random_unassigned(),
         }?;
-        let phase = self.saved_phase[v.index() as usize];
+        let phase = self.saved_phase.get(v);
         Some(v.lit(!phase))
     }
 
@@ -650,14 +677,14 @@ impl Solver {
             self.rng_state ^= self.rng_state << 25;
             self.rng_state ^= self.rng_state >> 27;
             let r = (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32;
-            let v = r % self.num_vars;
-            if !self.assigns[v as usize].is_assigned() {
-                return Some(Var::new(v));
+            let v = Var::new(r % self.num_vars);
+            if !self.assigns.get(v).is_assigned() {
+                return Some(v);
             }
         }
         (0..self.num_vars)
             .map(Var::new)
-            .find(|v| !self.assigns[v.index() as usize].is_assigned())
+            .find(|&v| !self.assigns.get(v).is_assigned())
     }
 
     /// Deletes low-scoring reducible learned clauses (the REDUCE step whose
@@ -714,12 +741,24 @@ impl Solver {
         }
         self.freq.reset();
         self.reduce_limit += self.config.reduce_inc;
+        self.checkpoint(Checkpoint::PostReduce);
     }
 
     /// Whether the clause is the reason of some current assignment.
     fn is_reason(&self, cref: ClauseRef) -> bool {
-        let first = self.db.clause(cref).lits()[0];
-        self.value(first) == LBool::True && self.reason[first.var().index() as usize] == Some(cref)
+        let first = self.db.clause(cref).lit(0);
+        self.value(first) == LBool::True && self.reason.get(first.var()) == Some(cref)
+    }
+
+    /// Runs the in-search invariant auditor at `checkpoint` when the
+    /// `checks` feature is enabled and a level was selected; a no-op (one
+    /// dead branch) otherwise. Panics on the first violated invariant.
+    #[inline]
+    fn checkpoint(&self, checkpoint: Checkpoint) {
+        #[cfg(feature = "checks")]
+        crate::check::run_checkpoint(self, checkpoint);
+        #[cfg(not(feature = "checks"))]
+        let _ = checkpoint;
     }
 
     /// Solves with an unlimited budget.
@@ -767,6 +806,7 @@ impl Solver {
     /// ```
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
         for a in assumptions {
+            // xtask: allow(no-hard-assert) documented API contract, not search-loop code
             assert!(
                 a.var().index() < self.num_vars,
                 "assumption on unknown variable {a}"
@@ -854,15 +894,20 @@ impl Solver {
                     p.add(&learned);
                 }
                 self.backtrack(bt_level);
-                if learned.len() == 1 {
-                    self.assign(learned[0], None);
-                    // Level-0 unit: re-propagation happens at loop top.
-                } else {
-                    let cref = self.db.add(learned.clone(), true, glue);
-                    self.attach(cref);
-                    self.bump_clause(cref);
-                    self.assign(learned[0], Some(cref));
+                match *learned.as_slice() {
+                    [] => debug_assert!(false, "learned clause cannot be empty"),
+                    [unit] => {
+                        self.assign(unit, None);
+                        // Level-0 unit: re-propagation happens at loop top.
+                    }
+                    [first, ..] => {
+                        let cref = self.db.add(learned.clone(), true, glue);
+                        self.attach(cref);
+                        self.bump_clause(cref);
+                        self.assign(first, Some(cref));
+                    }
                 }
+                self.checkpoint(Checkpoint::PostLearn);
                 if let Some(t) = self.telemetry.as_deref_mut() {
                     t.on_conflict(glue, learned.len(), trail_depth, self.db.num_learned());
                     t.maybe_progress(&self.stats, self.db.num_learned());
@@ -876,6 +921,7 @@ impl Solver {
                         obs.on_restart(self.stats.restarts);
                     }
                     self.backtrack(0);
+                    self.checkpoint(Checkpoint::PostBackjump);
                     if let (Some(start), Some(t)) = (restart_timer, self.telemetry.as_deref_mut()) {
                         t.add_phase(Phase::Restart, start.elapsed());
                     }
@@ -884,6 +930,7 @@ impl Solver {
                     return SolveResult::Unknown;
                 }
             } else {
+                self.checkpoint(Checkpoint::PostPropagate);
                 // No conflict: establish assumptions, maybe reduce, decide.
                 match self.establish_assumptions() {
                     AssumptionStep::Assigned => continue, // propagate it
@@ -920,7 +967,7 @@ impl Solver {
     /// only when propagation is at fixpoint.
     fn establish_assumptions(&mut self) -> AssumptionStep {
         while (self.decision_level() as usize) < self.assumptions.len() {
-            let a = self.assumptions[self.decision_level() as usize];
+            let a = at(&self.assumptions, self.decision_level() as usize);
             match self.value(a) {
                 LBool::True => {
                     // Already implied: open an empty decision level so the
@@ -950,34 +997,34 @@ impl Solver {
         if self.decision_level() == 0 {
             return core;
         }
-        self.seen[a.var().index() as usize] = true;
-        let start = self.trail_lim[0];
+        self.seen.set(a.var(), true);
+        let start = at(&self.trail_lim, 0);
         for i in (start..self.trail.len()).rev() {
-            let q = self.trail[i];
-            let qv = q.var().index() as usize;
-            if !self.seen[qv] {
+            let q = at(&self.trail, i);
+            let qv = q.var();
+            if !self.seen.get(qv) {
                 continue;
             }
-            match self.reason[qv] {
+            match self.reason.get(qv) {
                 // A decision inside the assumption prefix is an assumption.
                 None => {
-                    if q.var() != a.var() {
+                    if qv != a.var() {
                         core.push(q);
                     }
                 }
                 Some(r) => {
                     let len = self.db.clause(r).len();
                     for k in 1..len {
-                        let l = self.db.clause(r).lits()[k];
-                        if self.level[l.var().index() as usize] > 0 {
-                            self.seen[l.var().index() as usize] = true;
+                        let l = self.db.clause(r).lit(k);
+                        if self.level.get(l.var()) > 0 {
+                            self.seen.set(l.var(), true);
                         }
                     }
                 }
             }
-            self.seen[qv] = false;
+            self.seen.set(qv, false);
         }
-        self.seen[a.var().index() as usize] = false;
+        self.seen.set(a.var(), false);
         core
     }
 
@@ -999,17 +1046,19 @@ impl Solver {
         // Cheap overapproximation: number of propagated literals on the trail.
         self.trail
             .iter()
-            .filter(|l| self.reason[l.var().index() as usize].is_some())
+            .filter(|l| self.reason.get(l.var()).is_some())
             .count()
     }
 
     fn extract_model(&self) -> Vec<bool> {
         (0..self.num_vars)
+            .map(Var::new)
             .map(|v| {
-                self.assigns[v as usize]
+                self.assigns
+                    .get(v)
                     .to_bool()
                     // Unconstrained variables default to the saved phase.
-                    .unwrap_or(self.saved_phase[v as usize])
+                    .unwrap_or(self.saved_phase.get(v))
             })
             .collect()
     }
@@ -1043,6 +1092,20 @@ pub enum Branching {
     /// Uniformly random unassigned variable (seeded by
     /// [`SolverConfig::seed`]) — an ablation baseline.
     Random,
+}
+
+/// A position in the CDCL loop where the invariant auditor may run
+/// (see the `checks` cargo feature and `rsat --check`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checkpoint {
+    /// Propagation reached a fixpoint without conflict.
+    PostPropagate,
+    /// A learned clause (or learned unit) was just attached and asserted.
+    PostLearn,
+    /// A clause-database reduction just completed.
+    PostReduce,
+    /// A restart just backtracked to the root level.
+    PostBackjump,
 }
 
 /// Outcome of one assumption-establishment step.
@@ -1116,7 +1179,9 @@ pub fn solve_with_policy_recorded(
     let record = solver
         .take_telemetry()
         .and_then(SolverTelemetry::into_record)
-        .expect("solve completed with telemetry installed");
+        // Unreachable: the recorder was installed above and survives the
+        // solve; fall back to an empty record rather than panicking.
+        .unwrap_or_else(|| telemetry::RunRecord::new(instance_id, ""));
     (result, stats, record)
 }
 

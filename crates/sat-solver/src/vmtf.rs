@@ -7,6 +7,7 @@
 //! bumps, and bumps reset it to the front only when the bumped variable
 //! becomes the new front.
 
+use crate::varmap::VarMap;
 use cnf::Var;
 
 const NIL: u32 = u32::MAX;
@@ -14,8 +15,8 @@ const NIL: u32 = u32::MAX;
 /// A doubly-linked move-to-front queue over all variables.
 #[derive(Debug, Clone)]
 pub struct VmtfQueue {
-    next: Vec<u32>,
-    prev: Vec<u32>,
+    next: VarMap<u32>,
+    prev: VarMap<u32>,
     head: u32,
     /// Scan hint: all variables in front of this one are assigned.
     search: u32,
@@ -24,16 +25,16 @@ pub struct VmtfQueue {
 impl VmtfQueue {
     /// Creates the queue containing variables `0..num_vars` in index order.
     pub fn new(num_vars: u32) -> Self {
-        let n = num_vars as usize;
+        let n = num_vars;
         let mut q = VmtfQueue {
-            next: vec![NIL; n],
-            prev: vec![NIL; n],
+            next: VarMap::new(n, NIL),
+            prev: VarMap::new(n, NIL),
             head: if n == 0 { NIL } else { 0 },
             search: if n == 0 { NIL } else { 0 },
         };
         for i in 0..n {
-            q.next[i] = if i + 1 < n { i as u32 + 1 } else { NIL };
-            q.prev[i] = if i > 0 { i as u32 - 1 } else { NIL };
+            q.next.set(Var::new(i), if i + 1 < n { i + 1 } else { NIL });
+            q.prev.set(Var::new(i), if i > 0 { i - 1 } else { NIL });
         }
         q
     }
@@ -46,21 +47,21 @@ impl VmtfQueue {
             return;
         }
         // unlink
-        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
+        let (p, n) = (self.prev.get(v), self.next.get(v));
         if p != NIL {
-            self.next[p as usize] = n;
+            self.next.set(Var::new(p), n);
         }
         if n != NIL {
-            self.prev[n as usize] = p;
+            self.prev.set(Var::new(n), p);
         }
         if self.search == i {
             self.search = if p != NIL { p } else { self.head };
         }
         // link at front
-        self.prev[i as usize] = NIL;
-        self.next[i as usize] = self.head;
+        self.prev.set(v, NIL);
+        self.next.set(v, self.head);
         if self.head != NIL {
-            self.prev[self.head as usize] = i;
+            self.prev.set(Var::new(self.head), i);
         }
         self.head = i;
         self.search = i;
@@ -82,10 +83,63 @@ impl VmtfQueue {
                 self.search = i;
                 return Some(v);
             }
-            i = self.next[i as usize];
+            i = self.next.get(v);
         }
         self.search = NIL;
         None
+    }
+
+    /// Verifies the doubly-linked-queue invariants: the forward traversal
+    /// from `head` visits every variable exactly once, `prev` is the exact
+    /// inverse of `next`, and the scan hint is `NIL` or on the list.
+    ///
+    /// Shared by the unit tests below and the runtime invariant auditor
+    /// (`check.rs`); returns a description of the first violation found.
+    pub(crate) fn check_invariant(&self) -> Result<(), String> {
+        let n = self.next.len();
+        if n == 0 {
+            if self.head != NIL || self.search != NIL {
+                return Err("empty queue must have NIL head and search".into());
+            }
+            return Ok(());
+        }
+        if self.head == NIL {
+            return Err("non-empty queue has NIL head".into());
+        }
+        let mut visited = vec![false; n];
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut i = self.head;
+        let mut search_seen = self.search == NIL;
+        while i != NIL {
+            let v = Var::new(i);
+            let slot = visited
+                .get_mut(i as usize)
+                .ok_or_else(|| format!("queue links to out-of-range variable {i}"))?;
+            if *slot {
+                return Err(format!("queue traversal revisits variable {i} (cycle)"));
+            }
+            *slot = true;
+            count += 1;
+            if self.prev.get(v) != prev {
+                return Err(format!(
+                    "prev pointer of variable {i} is {} but predecessor is {prev}",
+                    self.prev.get(v)
+                ));
+            }
+            if self.search == i {
+                search_seen = true;
+            }
+            prev = i;
+            i = self.next.get(v);
+        }
+        if count != n {
+            return Err(format!("queue traversal visits {count} of {n} variables"));
+        }
+        if !search_seen {
+            return Err(format!("search hint {} is not on the queue", self.search));
+        }
+        Ok(())
     }
 
     #[cfg(test)]
@@ -94,7 +148,7 @@ impl VmtfQueue {
         let mut i = self.head;
         while i != NIL {
             out.push(i);
-            i = self.next[i as usize];
+            i = self.next.get(Var::new(i));
         }
         out
     }
@@ -108,6 +162,7 @@ mod tests {
     fn initial_order_is_index_order() {
         let q = VmtfQueue::new(4);
         assert_eq!(q.order(), vec![0, 1, 2, 3]);
+        assert_eq!(q.check_invariant(), Ok(()));
     }
 
     #[test]
@@ -119,6 +174,7 @@ mod tests {
         assert_eq!(q.order(), vec![3, 2, 0, 1]);
         q.bump(Var::new(3)); // bumping the head is a no-op
         assert_eq!(q.order(), vec![3, 2, 0, 1]);
+        assert_eq!(q.check_invariant(), Ok(()));
     }
 
     #[test]
@@ -132,6 +188,7 @@ mod tests {
         // hint advanced: further queries with same predicate start at 2
         let v = q.next_unassigned(|v| !assigned[v.index() as usize]);
         assert_eq!(v, Some(Var::new(2)));
+        assert_eq!(q.check_invariant(), Ok(()));
     }
 
     #[test]
@@ -147,6 +204,7 @@ mod tests {
         let mut q = VmtfQueue::new(0);
         assert_eq!(q.next_unassigned(|_| true), None);
         q.rewind();
+        assert_eq!(q.check_invariant(), Ok(()));
     }
 
     #[test]
@@ -156,5 +214,13 @@ mod tests {
             q.bump(Var::new(i));
         }
         assert_eq!(q.order(), vec![4, 3, 2, 1, 0]);
+        assert_eq!(q.check_invariant(), Ok(()));
+    }
+
+    #[test]
+    fn invariant_detects_corrupt_link() {
+        let mut q = VmtfQueue::new(3);
+        q.next.set(Var::new(2), 0); // introduce a cycle 0 -> 1 -> 2 -> 0
+        assert!(q.check_invariant().is_err());
     }
 }

@@ -3,7 +3,7 @@
 
 use cnf::{Cnf, Lit};
 use proptest::prelude::*;
-use sat_solver::{Budget, Solver};
+use sat_solver::{Budget, Checkpoint, Solver};
 
 fn cnf_of(clauses: &[&[i32]]) -> Cnf {
     let mut f = Cnf::new(0);
@@ -106,6 +106,10 @@ fn sequential_assumption_probing_reuses_learned_clauses() {
     // and a contradictory pair of placements in one hole is not
     let r = s.solve_with_assumptions(&[lit(1), lit(5)], Budget::unlimited());
     assert!(r.is_unsat(), "two pigeons in hole 0");
+    // assumption levels and accumulated learned clauses must leave the
+    // solver in an internally consistent state
+    s.audit_invariants(Checkpoint::PostBackjump)
+        .expect("invariant audit after incremental probing");
 }
 
 /// PHP(4, 4): variable `p*4 + h + 1` = pigeon p in hole h.
@@ -165,6 +169,9 @@ proptest! {
             for a in &assumptions {
                 prop_assert!(a.eval(m[a.var().index() as usize]), "assumption {a} violated");
             }
+        }
+        if let Err(e) = s.audit_invariants(Checkpoint::PostPropagate) {
+            prop_assert!(false, "invariant audit after assumption solve: {e}");
         }
     }
 }

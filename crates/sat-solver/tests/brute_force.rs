@@ -5,7 +5,7 @@
 use cnf::{verify_model, Cnf};
 use proptest::prelude::*;
 use sat_solver::{
-    check_proof, preprocess, Branching, PolicyKind, PreprocessConfig, Preprocessed,
+    check_proof, preprocess, Branching, Checkpoint, PolicyKind, PreprocessConfig, Preprocessed,
     RestartStrategy, SolveResult, Solver, SolverConfig,
 };
 
@@ -63,6 +63,9 @@ proptest! {
             SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT on SAT formula"),
             SolveResult::Unknown => prop_assert!(false, "unlimited solve returned Unknown"),
         }
+        if let Err(e) = solver.audit_invariants(Checkpoint::PostPropagate) {
+            prop_assert!(false, "invariant audit after solving: {e}");
+        }
     }
 
     #[test]
@@ -77,6 +80,9 @@ proptest! {
                 }
                 SolveResult::Unsat => prop_assert!(!expected),
                 SolveResult::Unknown => prop_assert!(false),
+            }
+            if let Err(e) = solver.audit_invariants(Checkpoint::PostReduce) {
+                prop_assert!(false, "invariant audit after aggressive reduction: {e}");
             }
         }
     }
@@ -141,6 +147,9 @@ proptest! {
             }
             SolveResult::Unsat => prop_assert!(!expected),
             SolveResult::Unknown => prop_assert!(false),
+        }
+        if let Err(e) = solver.audit_invariants(Checkpoint::PostPropagate) {
+            prop_assert!(false, "invariant audit under {policy:?}/{restart:?}/{branching:?}: {e}");
         }
     }
 

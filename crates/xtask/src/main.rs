@@ -1,0 +1,194 @@
+//! Repository automation tasks. `cargo run -p xtask -- lint` runs the
+//! project-specific static checks over the workspace sources;
+//! `cargo run -p xtask -- schema-update` refreshes the telemetry
+//! wire-format manifest. See DESIGN.md for the rule catalogue.
+
+mod lexer;
+mod rules;
+mod schema;
+
+use rules::Diagnostic;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("lint");
+    match command {
+        "lint" => lint(),
+        "schema-update" => schema_update(),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("xtask: unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command>
+
+commands:
+  lint           run the project lint rules over all workspace sources
+  schema-update  regenerate crates/xtask/telemetry.schema from the
+                 telemetry crate's sources
+";
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    for file in collect_sources(&root) {
+        let rel = relative(&root, &file);
+        match std::fs::read_to_string(&file) {
+            Ok(src) => rules::lint_file(&rel, &src, &mut diags),
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Err(e) = check_telemetry_schema(&root, &mut diags) {
+        eprintln!("xtask: {e}");
+        return ExitCode::from(2);
+    }
+
+    // File-level allowlist.
+    let allow_path = root.join("crates/xtask/lint.allow");
+    let stale = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match rules::parse_allowlist(&text) {
+            Ok(entries) => rules::apply_allowlist(&mut diags, &entries),
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist file: nothing suppressed
+    };
+
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    for d in &diags {
+        println!("{d}");
+    }
+    for e in &stale {
+        println!(
+            "crates/xtask/lint.allow: stale entry `{} {}{}` matches nothing; remove it",
+            e.rule,
+            e.path,
+            e.line.map(|l| format!(":{l}")).unwrap_or_default()
+        );
+    }
+    if diags.is_empty() && stale.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s), {} stale allowlist entr(ies)",
+            diags.len(),
+            stale.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// All `.rs` files under `crates/*/src`, workspace-relative order.
+/// `vendor/` (third-party shims) and `target/` are out of scope, as are
+/// integration-test and bench directories: the rules govern shipped code.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        walk(&dir.join("src"), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs the `telemetry-schema` golden-manifest comparison.
+fn check_telemetry_schema(root: &Path, diags: &mut Vec<Diagnostic>) -> Result<(), String> {
+    let current = extract_current_schema(root)?;
+    let manifest_path = root.join("crates/xtask/telemetry.schema");
+    let manifest_text = std::fs::read_to_string(&manifest_path).map_err(|_| {
+        "crates/xtask/telemetry.schema is missing; run `cargo run -p xtask -- schema-update`"
+            .to_string()
+    })?;
+    let manifest = schema::parse_manifest(&manifest_text)?;
+    schema::compare(&current, &manifest, diags);
+    Ok(())
+}
+
+fn extract_current_schema(root: &Path) -> Result<schema::Schema, String> {
+    let read = |rel: &str| {
+        std::fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))
+    };
+    schema::extract(
+        &read("crates/telemetry/src/lib.rs")?,
+        &read("crates/telemetry/src/record.rs")?,
+        &read("crates/telemetry/src/sink.rs")?,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn schema_update() -> ExitCode {
+    let root = workspace_root();
+    let current = match extract_current_schema(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = root.join("crates/xtask/telemetry.schema");
+    match std::fs::write(&path, schema::to_manifest(&current)) {
+        Ok(()) => {
+            println!("wrote {}", relative(&root, &path));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot write telemetry.schema: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

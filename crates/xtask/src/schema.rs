@@ -1,0 +1,393 @@
+//! The `telemetry-schema` rule: a golden manifest of the telemetry wire
+//! format.
+//!
+//! Downstream tooling (dashboards, the paper's analysis notebooks) parses
+//! the JSONL records emitted by the `telemetry` crate, whose contract is:
+//! field *removals or renames* bump `SCHEMA_VERSION`, additions do not.
+//! This module extracts the current shape of `RunRecord` and `Event` from
+//! the telemetry sources and compares it against the checked-in manifest
+//! `crates/xtask/telemetry.schema`. A drifted manifest fails `xtask lint`;
+//! `cargo run -p xtask -- schema-update` regenerates it (after which a
+//! missing version bump is still reported).
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::Diagnostic;
+
+/// The extracted telemetry wire-format shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// The declared `SCHEMA_VERSION`.
+    pub version: u64,
+    /// Field names of `RunRecord`, in declaration order.
+    pub record_fields: Vec<String>,
+    /// `Event` variants with their field names, in declaration order.
+    pub events: Vec<(String, Vec<String>)>,
+}
+
+/// Extracts the schema from the telemetry crate's sources.
+///
+/// `lib_src`, `record_src`, and `sink_src` are the contents of
+/// `crates/telemetry/src/{lib,record,sink}.rs`.
+pub fn extract(lib_src: &str, record_src: &str, sink_src: &str) -> Result<Schema, String> {
+    let version = find_version(&lex(lib_src).tokens)
+        .ok_or("could not find `SCHEMA_VERSION: u32 = <n>` in telemetry/src/lib.rs")?;
+    let record_fields = struct_fields(&lex(record_src).tokens, "RunRecord")
+        .ok_or("could not find `struct RunRecord` in telemetry/src/record.rs")?;
+    let events = enum_variants(&lex(sink_src).tokens, "Event")
+        .ok_or("could not find `enum Event` in telemetry/src/sink.rs")?;
+    Ok(Schema {
+        version,
+        record_fields,
+        events,
+    })
+}
+
+fn find_version(tokens: &[Token]) -> Option<u64> {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("SCHEMA_VERSION") {
+            // SCHEMA_VERSION : u32 = <int>
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].is_punct("=") && !tokens[j].is_punct(";") {
+                j += 1;
+            }
+            if let Some(v) = tokens.get(j + 1) {
+                if v.kind == TokenKind::Int {
+                    return v.text.replace('_', "").parse().ok();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Field names of `struct <name> { ... }` (named fields only).
+fn struct_fields(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("struct")
+            && tokens[i + 1].is_ident(name)
+            && tokens[i + 2].is_punct("{")
+        {
+            return Some(fields_in_braces(tokens, i + 2).0);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Variants of `enum <name> { Variant { fields } | Variant(...) | Variant }`.
+fn enum_variants(tokens: &[Token], name: &str) -> Option<Vec<(String, Vec<String>)>> {
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(name) && tokens[i + 2].is_punct("{")
+        {
+            let mut variants = Vec::new();
+            let mut j = i + 3;
+            while j < tokens.len() && !tokens[j].is_punct("}") {
+                let t = &tokens[j];
+                if t.is_punct("#") {
+                    // Skip a variant attribute to its closing bracket.
+                    let mut depth = 0usize;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct("[") {
+                            depth += 1;
+                        } else if tokens[j].is_punct("]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                    continue;
+                }
+                if t.kind == TokenKind::Ident {
+                    let vname = t.text.clone();
+                    match tokens.get(j + 1) {
+                        Some(n) if n.is_punct("{") => {
+                            let (fields, end) = fields_in_braces(tokens, j + 1);
+                            variants.push((vname, fields));
+                            j = end;
+                        }
+                        Some(n) if n.is_punct("(") => {
+                            // Tuple variant: positional field placeholders.
+                            let mut depth = 0usize;
+                            let mut arity = 0usize;
+                            let mut k = j + 1;
+                            while k < tokens.len() {
+                                if tokens[k].is_punct("(") {
+                                    depth += 1;
+                                } else if tokens[k].is_punct(")") {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                } else if depth == 1 && tokens[k].is_punct(",") {
+                                    arity += 1;
+                                }
+                                k += 1;
+                            }
+                            let fields = (0..=arity).map(|n| format!("_{n}")).collect();
+                            variants.push((vname, fields));
+                            j = k + 1;
+                        }
+                        _ => {
+                            variants.push((vname, Vec::new()));
+                            j += 1;
+                        }
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            return Some(variants);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collects `name :` field names inside the brace block opening at `open`;
+/// returns them with the index one past the closing brace.
+fn fields_in_braces(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return (fields, i + 1);
+            }
+        } else if depth == 1
+            && t.kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && tokens.get(i + 2).is_none_or(|n| !n.is_punct(":"))
+        {
+            fields.push(t.text.clone());
+            // Skip past the field type up to the comma at this depth, so
+            // type arguments (`Option<f64>`) cannot fake a field.
+            let mut inner = 0usize;
+            while i < tokens.len() {
+                let u = &tokens[i];
+                if u.is_punct("{") || u.is_punct("(") || u.is_punct("[") {
+                    inner += 1;
+                } else if u.is_punct("}") || u.is_punct(")") || u.is_punct("]") {
+                    if inner == 0 {
+                        i -= 1; // let the outer loop see the closer
+                        break;
+                    }
+                    inner -= 1;
+                } else if inner == 0 && u.is_punct(",") {
+                    break;
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    (fields, i)
+}
+
+/// Serializes the schema in the manifest format (one line per shape).
+pub fn to_manifest(schema: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("# Telemetry wire-format manifest. Regenerate with:\n");
+    out.push_str("#   cargo run -p xtask -- schema-update\n");
+    out.push_str("# Removing or renaming a field requires bumping telemetry::SCHEMA_VERSION.\n");
+    out.push_str(&format!("version {}\n", schema.version));
+    out.push_str(&format!(
+        "record RunRecord {}\n",
+        schema.record_fields.join(" ")
+    ));
+    for (name, fields) in &schema.events {
+        out.push_str(&format!("event {} {}\n", name, fields.join(" ")));
+    }
+    out
+}
+
+/// Parses a manifest produced by [`to_manifest`].
+pub fn parse_manifest(text: &str) -> Result<Schema, String> {
+    let mut version = None;
+    let mut record_fields = None;
+    let mut events = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("version") => {
+                let v = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("telemetry.schema:{}: bad version line", no + 1))?;
+                version = Some(v);
+            }
+            Some("record") => {
+                let _name = parts.next();
+                record_fields = Some(parts.map(String::from).collect());
+            }
+            Some("event") => {
+                let name = parts
+                    .next()
+                    .ok_or(format!("telemetry.schema:{}: event without a name", no + 1))?;
+                events.push((name.to_string(), parts.map(String::from).collect()));
+            }
+            _ => {
+                return Err(format!(
+                    "telemetry.schema:{}: unrecognized line {raw:?}",
+                    no + 1
+                ))
+            }
+        }
+    }
+    Ok(Schema {
+        version: version.ok_or("telemetry.schema: missing version line")?,
+        record_fields: record_fields.ok_or("telemetry.schema: missing record line")?,
+        events,
+    })
+}
+
+/// Compares the live schema against the manifest, appending diagnostics.
+///
+/// The contract: any drift means the manifest must be refreshed, and a
+/// removal or rename with an unchanged version additionally demands a
+/// `SCHEMA_VERSION` bump.
+pub fn compare(current: &Schema, manifest: &Schema, out: &mut Vec<Diagnostic>) {
+    if current == manifest {
+        return;
+    }
+    let mut removed: Vec<String> = manifest
+        .record_fields
+        .iter()
+        .filter(|f| !current.record_fields.contains(f))
+        .map(|f| format!("RunRecord.{f}"))
+        .collect();
+    for (name, fields) in &manifest.events {
+        match current.events.iter().find(|(n, _)| n == name) {
+            None => removed.push(format!("Event::{name}")),
+            Some((_, cur_fields)) => removed.extend(
+                fields
+                    .iter()
+                    .filter(|f| !cur_fields.contains(f))
+                    .map(|f| format!("Event::{name}.{f}")),
+            ),
+        }
+    }
+    if !removed.is_empty() && current.version == manifest.version {
+        diag_schema(
+            out,
+            format!(
+                "telemetry schema removed or renamed {} without bumping \
+                 telemetry::SCHEMA_VERSION (still {})",
+                removed.join(", "),
+                current.version
+            ),
+        );
+    }
+    diag_schema(
+        out,
+        "telemetry schema drifted from crates/xtask/telemetry.schema; \
+         run `cargo run -p xtask -- schema-update`"
+            .to_string(),
+    );
+}
+
+fn diag_schema(out: &mut Vec<Diagnostic>, message: String) {
+    out.push(Diagnostic {
+        rule: "telemetry-schema",
+        path: "crates/telemetry/src".to_string(),
+        line: 1,
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "pub const SCHEMA_VERSION: u32 = 3;";
+    const RECORD: &str = "pub struct RunRecord {\n    pub schema_version: u32,\n    pub extras: Option<Vec<(String, u64)>>,\n}";
+    const SINK: &str =
+        "pub enum Event {\n    Start { id: String, n: u64 },\n    End { record: RunRecord },\n}";
+
+    fn schema() -> Schema {
+        extract(LIB, RECORD, SINK).expect("extracts")
+    }
+
+    #[test]
+    fn extraction_reads_fields_and_variants() {
+        let s = schema();
+        assert_eq!(s.version, 3);
+        assert_eq!(s.record_fields, vec!["schema_version", "extras"]);
+        assert_eq!(
+            s.events,
+            vec![
+                ("Start".into(), vec!["id".into(), "n".into()]),
+                ("End".into(), vec!["record".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let s = schema();
+        let text = to_manifest(&s);
+        assert_eq!(parse_manifest(&text).expect("parses"), s);
+    }
+
+    #[test]
+    fn identical_schemas_produce_no_diagnostics() {
+        let mut out = Vec::new();
+        compare(&schema(), &schema(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn field_removal_without_bump_is_flagged() {
+        let mut current = schema();
+        current.record_fields.retain(|f| f != "extras");
+        let mut out = Vec::new();
+        compare(&current, &schema(), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("RunRecord.extras"));
+        assert!(out[0].message.contains("SCHEMA_VERSION"));
+    }
+
+    #[test]
+    fn field_removal_with_bump_still_wants_manifest_refresh() {
+        let mut current = schema();
+        current.record_fields.retain(|f| f != "extras");
+        current.version += 1;
+        let mut out = Vec::new();
+        compare(&current, &schema(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("schema-update"));
+    }
+
+    #[test]
+    fn pure_addition_only_wants_manifest_refresh() {
+        let mut current = schema();
+        current.record_fields.push("new_field".into());
+        current.events.push(("Restart".into(), vec!["no".into()]));
+        let mut out = Vec::new();
+        compare(&current, &schema(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("schema-update"));
+    }
+
+    #[test]
+    fn event_field_removal_is_flagged() {
+        let mut current = schema();
+        current.events[0].1.retain(|f| f != "n");
+        let mut out = Vec::new();
+        compare(&current, &schema(), &mut out);
+        assert!(out[0].message.contains("Event::Start.n"));
+    }
+}

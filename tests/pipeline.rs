@@ -3,11 +3,34 @@
 //! (simulated through the text format).
 
 use neuro::{load_params, save_params, NeuroSelectConfig};
+use neuroselect::cnf::{verify_model, Cnf};
 use neuroselect::sat_gen::{competition_batch, DatasetConfig};
+use neuroselect::sat_solver::{check_proof, Checkpoint, Solver};
 use neuroselect::{
     evaluate, label_batch, train, Budget, Classifier, LabelingConfig, NeuroSelectClassifier,
-    NeuroSelectSolver, TrainConfig,
+    NeuroSelectSolver, SolveResult, TrainConfig,
 };
+
+/// Certifies a pipeline verdict against the formula it came from: SAT
+/// models are replayed, UNSAT is re-derived with proof logging and the
+/// DRAT proof checked (pipeline instances are all tiny).
+fn certify(f: &Cnf, result: &SolveResult, name: &str) {
+    match result {
+        SolveResult::Sat(model) => {
+            assert!(verify_model(f, model).is_ok(), "{name}: invalid model");
+        }
+        SolveResult::Unsat => {
+            let mut s = Solver::from_cnf(f);
+            s.enable_proof();
+            assert!(s.solve().is_unsat(), "{name}: UNSAT not reproducible");
+            s.audit_invariants(Checkpoint::PostPropagate)
+                .expect("invariant audit");
+            let proof = s.take_proof().expect("proof enabled");
+            assert_eq!(check_proof(f, &proof), Ok(()), "{name}: proof rejected");
+        }
+        SolveResult::Unknown => {}
+    }
+}
 
 fn tiny_model() -> NeuroSelectConfig {
     NeuroSelectConfig {
@@ -47,9 +70,7 @@ fn end_to_end_label_train_evaluate_deploy() {
     for inst in &test_set {
         let out = solver.solve(&inst.instance.cnf, Budget::propagations(50_000_000));
         assert!(!out.result.is_unknown(), "{}", inst.instance.name);
-        if let Some(model) = out.result.model() {
-            assert!(neuroselect::cnf::verify_model(&inst.instance.cnf, model).is_ok());
-        }
+        certify(&inst.instance.cnf, &out.result, &inst.instance.name);
     }
 }
 
@@ -128,4 +149,5 @@ fn inference_cost_is_recorded() {
     // inference happened (graph build + forward pass take nonzero time)
     assert!(out.inference_time.as_nanos() > 0);
     assert!(out.total_time() >= out.solve_time);
+    certify(&f, &out.result, "inference-cost instance");
 }

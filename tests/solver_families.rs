@@ -2,18 +2,42 @@
 //! both deletion policies, with models verified, expected verdicts checked,
 //! and UNSAT results certified by DRAT proofs where cheap enough.
 
-use neuroselect::cnf::verify_model;
+use neuroselect::cnf::{verify_model, Cnf};
 use neuroselect::sat_gen::{
     coloring_cnf, competition_batch, equivalence_miter_cnf, parity_chain_unsat,
     phase_transition_3sat, pigeonhole, tseitin_expander_unsat, DatasetConfig, Family, Graph,
 };
-use neuroselect::sat_solver::{check_proof, PolicyKind, Solver, SolverConfig};
+use neuroselect::sat_solver::{check_proof, Checkpoint, PolicyKind, Solver, SolverConfig};
 use neuroselect::{Budget, SolveResult};
 
-fn solve_both_policies(f: &neuroselect::cnf::Cnf) -> (SolveResult, SolveResult) {
-    let mut a = Solver::new(f, SolverConfig::with_policy(PolicyKind::Default));
-    let mut b = Solver::new(f, SolverConfig::with_policy(PolicyKind::PropFreq));
-    (a.solve(), b.solve())
+/// UNSAT verdicts on instances up to this many variables are replayed
+/// through the RUP checker; above it the forward check gets slow.
+const PROOF_CHECK_MAX_VARS: u32 = 256;
+
+/// Solves with the full certification pipeline: final-state invariant
+/// audit, model verification on SAT, and DRAT replay on small UNSAT.
+fn solve_checked(f: &Cnf, policy: PolicyKind) -> SolveResult {
+    let mut s = Solver::new(f, SolverConfig::with_policy(policy));
+    s.enable_proof();
+    let r = s.solve();
+    s.audit_invariants(Checkpoint::PostPropagate)
+        .expect("invariant audit after solving");
+    match &r {
+        SolveResult::Sat(model) => assert!(verify_model(f, model).is_ok(), "invalid model"),
+        SolveResult::Unsat if f.num_vars() <= PROOF_CHECK_MAX_VARS => {
+            let proof = s.take_proof().expect("proof enabled");
+            assert_eq!(check_proof(f, &proof), Ok(()));
+        }
+        _ => {}
+    }
+    r
+}
+
+fn solve_both_policies(f: &Cnf) -> (SolveResult, SolveResult) {
+    (
+        solve_checked(f, PolicyKind::Default),
+        solve_checked(f, PolicyKind::PropFreq),
+    )
 }
 
 #[test]
@@ -21,17 +45,10 @@ fn mixed_batch_policies_agree_and_models_verify() {
     let batch = competition_batch("itest", &DatasetConfig::tiny(), 3);
     assert_eq!(batch.instances.len(), 6);
     for inst in &batch.instances {
+        // solve_both_policies model-verifies every SAT answer and replays
+        // the DRAT proof of every small UNSAT one
         let (ra, rb) = solve_both_policies(&inst.cnf);
         assert_eq!(ra.is_sat(), rb.is_sat(), "{} verdict mismatch", inst.name);
-        for r in [&ra, &rb] {
-            if let Some(model) = r.model() {
-                assert!(
-                    verify_model(&inst.cnf, model).is_ok(),
-                    "{} invalid model",
-                    inst.name
-                );
-            }
-        }
         // family-specific expectations
         match inst.family {
             Family::Pigeonhole | Family::XorSat | Family::CircuitEquiv => {
@@ -71,6 +88,8 @@ fn parity_chain_unsat_for_long_chains() {
     let mut s = Solver::from_cnf(&f);
     assert!(s.solve().is_unsat());
     assert!(s.stats().conflicts <= 4, "chains refute almost immediately");
+    s.audit_invariants(Checkpoint::PostPropagate)
+        .expect("invariant audit after refutation");
 }
 
 #[test]
@@ -101,8 +120,7 @@ fn unsat_proof_checks_with_aggressive_reduction() {
 fn coloring_decodes_to_proper_coloring() {
     let g = Graph::random(20, 44, 8);
     let f = coloring_cnf(&g, 3);
-    let mut s = Solver::from_cnf(&f);
-    if let SolveResult::Sat(model) = s.solve() {
+    if let SolveResult::Sat(model) = solve_checked(&f, PolicyKind::Default) {
         let colors = neuroselect::sat_gen::decode_coloring(&g, 3, &model);
         for &(a, b) in &g.edges {
             assert_ne!(colors[a as usize], colors[b as usize]);
@@ -116,12 +134,19 @@ fn budget_censoring_is_monotone() {
     let f = phase_transition_3sat(60, 77);
     let mut small = Solver::from_cnf(&f);
     let r_small = small.solve_with_budget(Budget::conflicts(10));
+    // an exhausted budget must still leave a consistent solver behind
+    small
+        .audit_invariants(Checkpoint::PostPropagate)
+        .expect("invariant audit after budget exhaustion");
     let mut large = Solver::from_cnf(&f);
     let r_large = large.solve_with_budget(Budget::conflicts(1_000_000));
     if !r_small.is_unknown() {
         assert_eq!(r_small.is_sat(), r_large.is_sat());
     }
     assert!(!r_large.is_unknown());
+    if let Some(model) = r_large.model() {
+        assert!(verify_model(&f, model).is_ok());
+    }
 }
 
 #[test]
@@ -151,4 +176,9 @@ fn solver_statistics_are_consistent() {
     let db = s.db_stats();
     assert!(db.learned_clauses <= st.learned_clauses as usize);
     assert_eq!(db.live_clauses, db.learned_clauses + db.original_clauses);
+    s.audit_invariants(Checkpoint::PostPropagate)
+        .expect("invariant audit");
+    if let Some(model) = result.model() {
+        assert!(verify_model(&f, model).is_ok());
+    }
 }
