@@ -1,0 +1,137 @@
+//! **Experiment P1 — portfolio vs. single-policy solving** (DESIGN.md §10):
+//! on a mixed hard batch under a fixed per-instance budget, a clause-sharing
+//! portfolio must solve at least as many instances as the better of the two
+//! single policies — the acceptance bar for the portfolio subsystem.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_portfolio \
+//!     [-- --instances N --budget B --workers W --records out.jsonl]
+//! ```
+
+use bench::{dataset_config, mixed_batch, print_table, ExpArgs, RecordLog};
+use neuroselect::mean;
+use neuroselect::sat_gen::Batch;
+use neuroselect::sat_solver::{
+    solve_portfolio, solve_with_policy, Budget, PolicyKind, PortfolioConfig,
+};
+
+/// One strategy's budget-censored outcome over the batch.
+struct Outcome {
+    name: String,
+    solved: usize,
+    props: Vec<f64>,
+    exported: u64,
+    imported: u64,
+}
+
+fn run_sequential(batch: &Batch, policy: PolicyKind, budget: Budget) -> Outcome {
+    let mut solved = 0;
+    let mut props = Vec::new();
+    for inst in &batch.instances {
+        let (result, stats) = solve_with_policy(&inst.cnf, policy, budget);
+        if !result.is_unknown() {
+            solved += 1;
+        }
+        props.push(stats.propagations as f64);
+    }
+    Outcome {
+        name: format!("{policy} (sequential)"),
+        solved,
+        props,
+        exported: 0,
+        imported: 0,
+    }
+}
+
+fn run_portfolio(
+    batch: &Batch,
+    workers: usize,
+    budget: Budget,
+    log: &mut Option<RecordLog>,
+) -> Outcome {
+    let mut solved = 0;
+    let mut props = Vec::new();
+    let mut exported = 0;
+    let mut imported = 0;
+    for inst in &batch.instances {
+        let mut cfg = PortfolioConfig::new(workers);
+        cfg.budget = budget;
+        cfg.instance_id = inst.name.clone();
+        let out = solve_portfolio(&inst.cnf, &cfg).expect("portfolio verification failed");
+        if !out.result.is_unknown() {
+            solved += 1;
+        }
+        // Sum across workers: the portfolio's cost is all the work it did,
+        // not just the winner's share.
+        props.push(
+            out.workers
+                .iter()
+                .map(|w| w.stats.propagations as f64)
+                .sum(),
+        );
+        exported += out.pool.exported;
+        imported += out.pool.imported;
+        if let Some(log) = log {
+            for report in &out.workers {
+                if let Some(record) = &report.record {
+                    log.push(record);
+                }
+            }
+        }
+    }
+    Outcome {
+        name: format!("portfolio x{workers}"),
+        solved,
+        props,
+        exported,
+        imported,
+    }
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let mut config = dataset_config(&args);
+    config.instances_per_batch = args.get("instances", 10);
+    let budget = Budget::propagations(args.get("budget", 5_000_000u64));
+    let workers = args.get("workers", 4usize);
+    let batch = mixed_batch("portfolio", &config, 41);
+    let total = batch.instances.len();
+    let mut log = RecordLog::from_args(&args);
+
+    println!("P1: {total} mixed instances, budget {budget:?}, portfolio width {workers}\n");
+
+    let outcomes = [
+        run_sequential(&batch, PolicyKind::Default, budget),
+        run_sequential(&batch, PolicyKind::PropFreq, budget),
+        run_portfolio(&batch, workers, budget, &mut log),
+    ];
+
+    let best_single = outcomes[0].solved.max(outcomes[1].solved);
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.name.clone(),
+                format!("{}/{total}", o.solved),
+                format!("{:.0}", mean(&o.props)),
+                if o.exported > 0 || o.imported > 0 {
+                    format!("{} / {}", o.exported, o.imported)
+                } else {
+                    "—".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(&["strategy", "solved", "mean props", "pool exp/imp"], &rows);
+
+    let portfolio_solved = outcomes[2].solved;
+    println!(
+        "\nportfolio x{workers} solved {portfolio_solved}/{total}; better single policy solved \
+         {best_single}/{total}: {}",
+        if portfolio_solved >= best_single {
+            "acceptance bar MET"
+        } else {
+            "acceptance bar MISSED"
+        }
+    );
+}

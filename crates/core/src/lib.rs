@@ -53,6 +53,7 @@ mod classifier;
 mod label;
 mod metrics;
 mod parallel;
+mod race;
 mod select;
 
 pub use calibrate::{calibrate_threshold, calibrated_solver, Calibration};
@@ -65,6 +66,7 @@ pub use label::{
 };
 pub use metrics::{mean, median, BoxPlot, ClassifierMetrics, RuntimeSummary};
 pub use parallel::{par_map, solve_batch, solve_batch_recorded};
+pub use race::{policy_mix_for, RaceOutcome};
 pub use select::{NeuroSelectSolver, SelectionOutcome};
 
 // Re-export the substrate crates so downstream users need only one

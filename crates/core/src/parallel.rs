@@ -18,9 +18,17 @@ use telemetry::RunRecord;
 /// Results are deterministic (each item is processed exactly once and
 /// output slots are pre-assigned), only completion order varies.
 ///
+/// Each worker accumulates `(index, result)` pairs privately and hands
+/// them back through its join handle, so the hot path takes no lock at
+/// all — the shared state is one atomic work index. (An earlier version
+/// wrapped every output slot in its own `Mutex`, paying a lock round-trip
+/// per item.)
+///
 /// # Panics
 ///
-/// Panics if `threads == 0`, or propagates a worker's panic.
+/// Panics if `threads == 0`, or propagates a worker's panic. Propagation
+/// cannot deadlock: the scope joins every worker — the survivors just
+/// drain the remaining work — before the panic is re-raised here.
 ///
 /// # Examples
 ///
@@ -37,22 +45,37 @@ where
 {
     assert!(threads > 0, "need at least one worker thread");
     let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
+    let workers = threads.min(items.len().max(1));
+    let chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut chunk: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Claimed exactly once per index by the atomic RMW;
+                        // items are read-only, so no ordering is needed.
+                        let i = next.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) work index, not a publication flag
+                        let Some(item) = items.get(i) else { break };
+                        chunk.push((i, f(item)));
+                    }
+                    chunk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(chunk) => chunk,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
     });
-    drop(slots);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in chunks.into_iter().flatten() {
+        if let Some(slot) = results.get_mut(i) {
+            *slot = Some(r);
+        }
+    }
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -152,5 +175,18 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = par_map(&[1], 0, |&x: &i32| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker died on 3")]
+    fn worker_panic_propagates_without_deadlock() {
+        // The surviving workers drain the queue and the scope joins them
+        // all, so the panic must re-raise here instead of hanging.
+        let _ = par_map(&[1, 2, 3, 4, 5, 6], 2, |&x: &i32| {
+            if x == 3 {
+                panic!("worker died on {x}");
+            }
+            x * 2
+        });
     }
 }

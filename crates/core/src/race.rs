@@ -1,0 +1,170 @@
+//! Classifier-seeded portfolio racing: the NeuroSelect model no longer
+//! picks *one* deletion policy but the policy mix a clause-sharing
+//! portfolio starts from.
+//!
+//! Figure 4 of the paper shows neither policy dominates; the classifier's
+//! probability is therefore best read as a *confidence weighting* between
+//! them. [`policy_mix_for`] turns that probability into a per-worker policy
+//! assignment — confident predictions tilt the portfolio toward the
+//! predicted winner while (below near-certainty) always keeping at least
+//! one worker on the rival policy as a hedge — and
+//! [`NeuroSelectSolver::solve_portfolio`] runs the race.
+
+use crate::NeuroSelectSolver;
+use cnf::Cnf;
+use sat_solver::{
+    solve_portfolio, Budget, PolicyKind, PortfolioConfig, PortfolioError, PortfolioResult,
+    SolverConfig,
+};
+use std::time::Duration;
+
+/// The record of one classifier-seeded portfolio race.
+#[derive(Debug)]
+pub struct RaceOutcome {
+    /// The model's probability for the propagation-frequency policy.
+    pub probability: f32,
+    /// Wall-clock time of the model inference.
+    pub inference_time: Duration,
+    /// The policy assignment the probability was turned into (one entry
+    /// per worker; worker 0 runs the predicted winner).
+    pub mix: Vec<PolicyKind>,
+    /// The portfolio result: verdict, winner, per-worker reports, pool
+    /// counters, and the shared DRAT log.
+    pub portfolio: PortfolioResult,
+}
+
+/// Turns the classifier's probability for the propagation-frequency policy
+/// into a portfolio policy mix of length `workers`.
+///
+/// The predicted winner (PropFreq iff `probability > threshold`) fills the
+/// first `round(workers · confidence)` slots — clamped so it gets at least
+/// one worker, and, below 95% confidence, so the rival keeps at least one
+/// worker too (Figure 4: neither policy dominates, so hedging is cheap
+/// insurance).
+///
+/// # Examples
+///
+/// ```
+/// use neuroselect::policy_mix_for;
+/// use sat_solver::PolicyKind;
+/// // Balanced probability: a 4-worker race splits 2/2.
+/// let mix = policy_mix_for(0.5, 0.5, 4);
+/// assert_eq!(mix.iter().filter(|&&p| p == PolicyKind::Default).count(), 2);
+/// // Near-certain PropFreq: every worker runs it.
+/// assert!(policy_mix_for(0.99, 0.5, 4).iter().all(|&p| p == PolicyKind::PropFreq));
+/// ```
+pub fn policy_mix_for(probability: f32, threshold: f32, workers: usize) -> Vec<PolicyKind> {
+    let p = probability.clamp(0.0, 1.0);
+    let prefer_freq = p > threshold;
+    let confidence = if prefer_freq { p } else { 1.0 - p };
+    let (preferred, rival) = if prefer_freq {
+        (PolicyKind::PropFreq, PolicyKind::Default)
+    } else {
+        (PolicyKind::Default, PolicyKind::PropFreq)
+    };
+    let mut preferred_count = ((workers as f32) * confidence).round() as usize;
+    preferred_count = preferred_count.clamp(1, workers);
+    if workers >= 2 && confidence < 0.95 {
+        preferred_count = preferred_count.min(workers - 1);
+    }
+    (0..workers)
+        .map(|i| {
+            if i < preferred_count {
+                preferred
+            } else {
+                rival
+            }
+        })
+        .collect()
+}
+
+impl NeuroSelectSolver {
+    /// Solves `formula` with a classifier-seeded clause-sharing portfolio:
+    /// one model inference chooses the policy mix (see [`policy_mix_for`]),
+    /// then `workers` diversified solvers race under `budget` with a shared
+    /// DRAT log, and the verified first verdict is returned.
+    pub fn solve_portfolio(
+        &self,
+        formula: &Cnf,
+        workers: usize,
+        budget: Budget,
+    ) -> Result<RaceOutcome, PortfolioError> {
+        let (chosen, probability, inference_time) = self.select_policy(formula);
+        let mix = policy_mix_for(probability, self.threshold, workers);
+        let mut config = PortfolioConfig::new(workers);
+        config.base = SolverConfig::with_policy(chosen);
+        config.policy_mix = mix.clone();
+        config.budget = budget;
+        config.proof = true;
+        config.instance_id = String::from("race");
+        let portfolio = solve_portfolio(formula, &config)?;
+        Ok(RaceOutcome {
+            probability,
+            inference_time,
+            mix,
+            portfolio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeuroSelectClassifier;
+    use neuro::NeuroSelectConfig;
+
+    fn tiny_solver() -> NeuroSelectSolver {
+        NeuroSelectSolver::new(NeuroSelectClassifier::new(
+            NeuroSelectConfig {
+                hidden_dim: 8,
+                hgt_layers: 1,
+                mpnn_per_hgt: 1,
+                use_attention: true,
+                seed: 3,
+            },
+            0.01,
+        ))
+    }
+
+    #[test]
+    fn mix_keeps_a_hedge_below_near_certainty() {
+        for &p in &[0.2, 0.4, 0.6, 0.8, 0.9] {
+            let mix = policy_mix_for(p, 0.5, 4);
+            assert_eq!(mix.len(), 4);
+            assert!(
+                mix.contains(&PolicyKind::Default) && mix.contains(&PolicyKind::PropFreq),
+                "p={p}: both policies must be represented, got {mix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_worker_zero_runs_the_predicted_winner() {
+        assert_eq!(policy_mix_for(0.9, 0.5, 4)[0], PolicyKind::PropFreq);
+        assert_eq!(policy_mix_for(0.1, 0.5, 4)[0], PolicyKind::Default);
+    }
+
+    #[test]
+    fn mix_single_worker_is_the_predicted_winner_only() {
+        assert_eq!(policy_mix_for(0.7, 0.5, 1), vec![PolicyKind::PropFreq]);
+        assert_eq!(policy_mix_for(0.3, 0.5, 1), vec![PolicyKind::Default]);
+    }
+
+    #[test]
+    fn race_returns_verified_verdict() {
+        let f = sat_gen::phase_transition_3sat(25, 7);
+        let s = tiny_solver();
+        let out = s
+            .solve_portfolio(&f, 2, Budget::unlimited())
+            .expect("race verified");
+        assert!(!out.portfolio.result.is_unknown());
+        assert_eq!(out.mix.len(), 2);
+        assert_eq!(out.portfolio.workers.len(), 2);
+        if let Some(model) = out.portfolio.result.model() {
+            assert!(cnf::verify_model(&f, model).is_ok());
+        } else {
+            let proof = out.portfolio.proof.as_ref().expect("proof collected");
+            assert!(proof.claims_unsat());
+        }
+    }
+}

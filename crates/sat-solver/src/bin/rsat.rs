@@ -5,7 +5,14 @@
 //!               [--conflicts N] [--propagations N] [--proof FILE.drat]
 //!               [--check-proof] [--check[=off|light|full]] [--preprocess]
 //!               [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]
+//!               [--portfolio[=N]] [--seed N]
 //! ```
+//!
+//! `--portfolio[=N]` races N diversified solvers (defaulting to the
+//! machine's parallelism) with a shared clause pool and returns the first
+//! verdict; `--policy` and `--seed` set worker 0's configuration, UNSAT
+//! answers carry a shared DRAT log, and `--stats-json` then writes one
+//! record per worker.
 //!
 //! A `c`-comment statistics block is printed by default (`--no-stats`
 //! silences it). `--stats-json` streams structured telemetry events
@@ -17,13 +24,15 @@
 //! 20 = UNSAT, 0 = unknown/indeterminate, 1 = usage or I/O error.
 
 use sat_solver::{
-    check_proof, preprocess, Budget, CheckLevel, Checkpoint, PolicyKind, PreprocessConfig,
-    Preprocessed, SolveResult, Solver, SolverConfig, SolverTelemetry,
+    check_proof, preprocess, solve_portfolio, Budget, CheckLevel, Checkpoint, PolicyKind,
+    PortfolioConfig, PreprocessConfig, Preprocessed, SolveResult, Solver, SolverConfig,
+    SolverTelemetry,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::time::Duration;
+use telemetry::json::ToJson;
 use telemetry::{Event, JsonlSink, Phase, Sink};
 
 struct Options {
@@ -37,6 +46,8 @@ struct Options {
     preprocess: bool,
     stats_json: Option<String>,
     progress: Option<f64>,
+    portfolio: Option<usize>,
+    seed: u64,
 }
 
 fn usage() -> ! {
@@ -44,9 +55,27 @@ fn usage() -> ! {
         "usage: rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]\n\
          \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
          \x20             [--check-proof] [--check[=off|light|full]] [--preprocess]\n\
-         \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]"
+         \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]\n\
+         \x20             [--portfolio[=N]] [--seed N]"
     );
     std::process::exit(1)
+}
+
+/// Prints a model as DIMACS `v` lines (72-column wrapped).
+fn print_model(model: &[bool]) {
+    let mut line = String::from("v");
+    for (i, &v) in model.iter().enumerate() {
+        line.push(' ');
+        if !v {
+            line.push('-');
+        }
+        line.push_str(&(i + 1).to_string());
+        if line.len() > 72 {
+            println!("{line}");
+            line = String::from("v");
+        }
+    }
+    println!("{line} 0");
 }
 
 /// Streams progress heartbeats to stdout as DIMACS `c` comments; used
@@ -88,6 +117,8 @@ fn parse_args() -> Options {
     let mut preprocess = false;
     let mut stats_json = None;
     let mut progress = None;
+    let mut portfolio = None;
+    let mut seed = 0u64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--policy" => {
@@ -128,6 +159,28 @@ fn parse_args() -> Options {
                     usage()
                 }
             }
+            "--portfolio" => {
+                portfolio = Some(
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(4),
+                )
+            }
+            n if n.starts_with("--portfolio=") => {
+                let workers: usize = n["--portfolio=".len()..]
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if workers == 0 {
+                    usage()
+                }
+                portfolio = Some(workers);
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
             _ => usage(),
         }
@@ -146,6 +199,8 @@ fn parse_args() -> Options {
         preprocess,
         stats_json,
         progress,
+        portfolio,
+        seed,
     }
 }
 
@@ -167,6 +222,14 @@ fn main() -> ExitCode {
         formula.num_clauses(),
         opts.policy
     );
+
+    if let Some(workers) = opts.portfolio {
+        if opts.preprocess || opts.progress.is_some() {
+            eprintln!("rsat: --portfolio cannot be combined with --preprocess or --progress");
+            return ExitCode::from(1);
+        }
+        return run_portfolio(&formula, &opts, workers);
+    }
 
     // Optional SatELite-style simplification. Proof logging covers only the
     // search phase, so --preprocess and --proof are mutually exclusive.
@@ -309,19 +372,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
             println!("s SATISFIABLE");
-            let mut line = String::from("v");
-            for (i, &v) in model.iter().enumerate() {
-                line.push(' ');
-                if !v {
-                    line.push('-');
-                }
-                line.push_str(&(i + 1).to_string());
-                if line.len() > 72 {
-                    println!("{line}");
-                    line = String::from("v");
-                }
-            }
-            println!("{line} 0");
+            print_model(model);
             10
         }
         SolveResult::Unsat => {
@@ -362,4 +413,140 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::from(code)
+}
+
+/// The `--portfolio[=N]` path: race N diversified workers with clause
+/// sharing; the first verdict wins and is verified (model check or shared
+/// DRAT replay) before anything is printed.
+fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode {
+    let check_on_unsat = opts.check || opts.check_level.is_some();
+    let mut base = SolverConfig::with_policy(opts.policy);
+    base.seed = opts.seed;
+    let mut config = PortfolioConfig::new(workers);
+    config.base = base;
+    config.budget = opts.budget;
+    config.proof = opts.proof_path.is_some() || check_on_unsat;
+    config.instance_id = std::path::Path::new(&opts.file)
+        .file_name()
+        .map_or_else(|| opts.file.clone(), |n| n.to_string_lossy().into_owned());
+    if let Some(level) = opts.check_level {
+        #[cfg(feature = "checks")]
+        {
+            config.configure = Some(std::sync::Arc::new(move |s: &mut Solver| {
+                s.set_check_level(level)
+            }));
+            println!(
+                "c invariant checks: {level:?} (in-search checkpoints active in every worker)"
+            );
+        }
+        #[cfg(not(feature = "checks"))]
+        {
+            let _ = level;
+            println!(
+                "c note: built without the `checks` feature; in-search checkpoints \
+                 are disabled (model verification and proof replay still run)"
+            );
+        }
+    }
+    println!(
+        "c portfolio: {workers} workers | base policy {} | seed {} | export glue <= {}",
+        opts.policy, opts.seed, config.export_glue
+    );
+
+    let outcome = match solve_portfolio(formula, &config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("rsat: portfolio verification FAILED: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if opts.stats {
+        for w in &outcome.workers {
+            println!(
+                "c worker {} | policy {} | seed {} | {} | conflicts {} | \
+                 propagations {} | exported {} | imported {}",
+                w.worker,
+                w.policy,
+                w.seed,
+                w.verdict,
+                w.stats.conflicts,
+                w.stats.propagations,
+                w.exported,
+                w.imported
+            );
+        }
+        let pool = outcome.pool;
+        println!(
+            "c pool | exported {} | imported {} | duplicate-dropped {} | capacity-dropped {}",
+            pool.exported, pool.imported, pool.dropped_duplicate, pool.dropped_capacity
+        );
+        match outcome.winner {
+            Some(w) => println!("c winner: worker {w}"),
+            None => println!("c no winner: every worker exhausted its budget"),
+        }
+    }
+
+    if let Some(path) = &opts.stats_json {
+        match File::create(path) {
+            Ok(f) => {
+                let mut w = BufWriter::new(f);
+                let mut ok = true;
+                for report in &outcome.workers {
+                    if let Some(record) = &report.record {
+                        ok &= writeln!(w, "{}", record.to_json()).is_ok();
+                    }
+                }
+                ok &= w.flush().is_ok();
+                if !ok {
+                    eprintln!("rsat: failed to write worker records to {path}");
+                    return ExitCode::from(1);
+                }
+                println!("c telemetry written to {path} (one record per worker)");
+            }
+            Err(e) => {
+                eprintln!("rsat: {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if let Some(proof) = &outcome.proof {
+        if let Some(path) = &opts.proof_path {
+            match File::create(path) {
+                Ok(f) => {
+                    let mut w = BufWriter::new(f);
+                    if proof.write_drat(&mut w).and_then(|()| w.flush()).is_err() {
+                        eprintln!("rsat: failed to write proof to {path}");
+                        return ExitCode::from(1);
+                    }
+                    println!("c shared proof written to {path}");
+                }
+                Err(e) => {
+                    eprintln!("rsat: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        if check_on_unsat && outcome.result.is_unsat() {
+            // solve_portfolio already replayed the log (config.verify).
+            println!("c shared proof VERIFIED by the built-in RUP checker");
+        }
+    }
+
+    match &outcome.result {
+        SolveResult::Sat(model) => {
+            println!("s SATISFIABLE");
+            print_model(model);
+            ExitCode::from(10)
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::from(0)
+        }
+    }
 }

@@ -430,7 +430,9 @@ impl Audit<'_> {
     }
 
     /// Clause-database bookkeeping: cached clause/literal counts agree with
-    /// a full scan, and stored learned clauses carry a plausible glue.
+    /// a full scan, stored learned clauses carry a plausible glue, and
+    /// clauses imported from other portfolio workers are audited like
+    /// locally learned ones (imported ⊆ learned, cached count matches).
     fn clause_db(&self) -> Result<(), CheckError> {
         let s = self.s;
         let learned: Vec<_> = s.db.iter_learned().collect();
@@ -464,6 +466,29 @@ impl Audit<'_> {
                     ),
                 );
             }
+        }
+        let mut imported = 0usize;
+        for cref in s.db.iter_refs() {
+            let c = s.db.clause(cref);
+            if !c.imported {
+                continue;
+            }
+            imported += 1;
+            if !c.learned {
+                return self.fail(
+                    "imported-clauses-learned",
+                    format!("imported clause {cref:?} is not marked learned"),
+                );
+            }
+        }
+        if imported != s.db.num_imported() {
+            return self.fail(
+                "db-imported-count",
+                format!(
+                    "cached {} imported clauses, scan gives {imported}",
+                    s.db.num_imported()
+                ),
+            );
         }
         Ok(())
     }

@@ -37,6 +37,10 @@ pub struct StoredClause {
     pub activity: f64,
     /// Whether this clause was learned (original clauses are never deleted).
     pub learned: bool,
+    /// Whether the clause was imported from another portfolio worker.
+    /// Imported clauses are always `learned` and go through the same
+    /// reduction machinery as locally learned ones.
+    pub imported: bool,
     /// Protected clauses survive the next reduction (recently used).
     pub protected: bool,
     garbage: bool,
@@ -75,6 +79,7 @@ pub struct ClauseDb {
     free: Vec<u32>,
     num_learned: usize,
     num_original: usize,
+    num_imported: usize,
     lits_in_learned: usize,
 }
 
@@ -91,18 +96,34 @@ impl ClauseDb {
     /// Panics in debug builds if `lits` has fewer than two literals; unit
     /// and empty clauses are handled on the trail, not stored.
     pub fn add(&mut self, lits: Vec<Lit>, learned: bool, glue: u32) -> ClauseRef {
+        self.add_full(lits, learned, false, glue)
+    }
+
+    /// Inserts a clause learned by another portfolio worker. Imported
+    /// clauses are counted as learned *and* tracked separately so the
+    /// invariant auditor can cross-check the exchange bookkeeping.
+    pub fn add_imported(&mut self, lits: Vec<Lit>, glue: u32) -> ClauseRef {
+        self.add_full(lits, true, true, glue)
+    }
+
+    fn add_full(&mut self, lits: Vec<Lit>, learned: bool, imported: bool, glue: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "stored clauses must have >= 2 literals");
+        debug_assert!(learned || !imported, "imported clauses must be learned");
         if learned {
             self.num_learned += 1;
             self.lits_in_learned += lits.len();
         } else {
             self.num_original += 1;
         }
+        if imported {
+            self.num_imported += 1;
+        }
         let clause = StoredClause {
             lits,
             glue,
             activity: 0.0,
             learned,
+            imported,
             protected: false,
             garbage: false,
         };
@@ -156,17 +177,20 @@ impl ClauseDb {
 
     /// Marks a clause deleted and recycles its slot.
     pub fn remove(&mut self, cref: ClauseRef) {
-        let (learned, len) = {
+        let (learned, imported, len) = {
             let c = self.slot_mut(cref);
             debug_assert!(!c.garbage, "double delete of {cref:?}");
             c.garbage = true;
-            (c.learned, std::mem::take(&mut c.lits).len())
+            (c.learned, c.imported, std::mem::take(&mut c.lits).len())
         };
         if learned {
             self.num_learned -= 1;
             self.lits_in_learned -= len;
         } else {
             self.num_original -= 1;
+        }
+        if imported {
+            self.num_imported -= 1;
         }
         self.free.push(cref.index() as u32);
     }
@@ -187,6 +211,12 @@ impl ClauseDb {
     #[inline]
     pub fn num_original(&self) -> usize {
         self.num_original
+    }
+
+    /// Number of live imported clauses (a subset of the learned count).
+    #[inline]
+    pub fn num_imported(&self) -> usize {
+        self.num_imported
     }
 
     /// Total literal occurrences in live learned clauses.
@@ -290,5 +320,18 @@ mod tests {
     #[should_panic(expected = ">= 2")]
     fn rejects_unit_clause() {
         ClauseDb::new().add(lits(&[1]), false, 0);
+    }
+
+    #[test]
+    fn imported_accounting() {
+        let mut db = ClauseDb::new();
+        let a = db.add_imported(lits(&[1, 2, 3]), 2);
+        let _b = db.add(lits(&[4, 5]), true, 1);
+        assert!(db.clause(a).imported && db.clause(a).learned);
+        assert_eq!(db.num_imported(), 1);
+        assert_eq!(db.num_learned(), 2);
+        db.remove(a);
+        assert_eq!(db.num_imported(), 0);
+        assert_eq!(db.num_learned(), 1);
     }
 }

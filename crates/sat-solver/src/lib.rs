@@ -44,6 +44,7 @@ mod instrument;
 mod lbool;
 mod observer;
 mod policy;
+mod portfolio;
 mod preprocess;
 mod proof;
 mod restart;
@@ -60,9 +61,14 @@ pub use observer::{GlueTrace, NullObserver, SearchObserver};
 pub use policy::{
     ActivityPolicy, ClauseScoreCtx, DefaultPolicy, DeletionPolicy, PolicyKind, PropFreqPolicy,
 };
+pub use portfolio::{
+    solve_portfolio, worker_config, ConfigureHook, PoolStats, PortfolioConfig, PortfolioError,
+    PortfolioResult, SharedClausePool, WorkerReport,
+};
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed, Reconstruction};
 pub use proof::{check_proof, ProofError, ProofLogger, ProofStep};
 pub use restart::{luby, RestartScheduler, RestartStrategy};
 pub use solver::{
-    solve_with_policy, solve_with_policy_recorded, Branching, Checkpoint, DbStats, Solver,
+    solve_with_policy, solve_with_policy_recorded, Branching, Checkpoint, ClauseExchange, DbStats,
+    Solver,
 };

@@ -12,8 +12,33 @@ use crate::{
     SolveResult, SolverConfig, SolverStats,
 };
 use cnf::{Cnf, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use telemetry::Phase;
+
+/// A clause-sharing channel between portfolio workers (see the
+/// `portfolio` module).
+///
+/// The solver calls [`on_learn`](ClauseExchange::on_learn) for **every**
+/// clause it learns — the exchange decides what to publish — and drains
+/// [`import`](ClauseExchange::import) at restart boundaries, when the
+/// trail is back at the root level and foreign clauses can be attached
+/// safely. Implementations must be `Send`: the solver that owns the
+/// exchange moves onto a worker thread.
+pub trait ClauseExchange: Send {
+    /// Called after each conflict with the freshly learned clause.
+    fn on_learn(&mut self, lits: &[Lit], glue: u32);
+
+    /// Yields clauses learned by other workers since the previous call.
+    /// Each clause is passed to `each` together with its producer-side glue.
+    fn import(&mut self, each: &mut dyn FnMut(&[Lit], u32));
+
+    /// `(exported, imported)` clause counts seen by this exchange so far.
+    fn counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
 
 /// One entry in a literal's watch list.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +111,12 @@ pub struct Solver {
     /// Opt-in instrumentation; `None` (the default) costs one branch per
     /// hook site and nothing else.
     telemetry: Option<Box<SolverTelemetry>>,
+    /// Cooperative cancellation: when set and raised, the search returns
+    /// [`SolveResult::Unknown`] at the next conflict or decision boundary.
+    stop: Option<Arc<AtomicBool>>,
+    /// Clause-sharing channel for portfolio solving; `None` (the default)
+    /// costs one branch per learned clause and per restart.
+    exchange: Option<Box<dyn ClauseExchange>>,
     /// In-search invariant auditing level (see `check.rs`); `Off` costs one
     /// branch per checkpoint. Only present with the `checks` feature.
     #[cfg(feature = "checks")]
@@ -129,6 +160,8 @@ impl Solver {
             proof: None,
             observer: None,
             telemetry: None,
+            stop: None,
+            exchange: None,
             #[cfg(feature = "checks")]
             check_level: crate::check::CheckLevel::default(),
         };
@@ -157,6 +190,33 @@ impl Solver {
     /// Takes the recorded proof, if proof logging was enabled.
     pub fn take_proof(&mut self) -> Option<ProofLogger> {
         self.proof.take()
+    }
+
+    /// Installs a shared stop flag. Once another thread raises it, the
+    /// search returns [`SolveResult::Unknown`] at the next conflict or
+    /// decision boundary — the mechanism behind portfolio racing.
+    pub fn set_stop(&mut self, stop: Arc<AtomicBool>) {
+        self.stop = Some(stop);
+    }
+
+    /// Installs a clause-sharing channel (replacing any previous one).
+    pub fn set_exchange(&mut self, exchange: Box<dyn ClauseExchange>) {
+        self.exchange = Some(exchange);
+    }
+
+    /// Removes and returns the installed clause-sharing channel, e.g. to
+    /// read its counters after a solve.
+    pub fn take_exchange(&mut self) -> Option<Box<dyn ClauseExchange>> {
+        self.exchange.take()
+    }
+
+    #[inline]
+    fn should_stop(&self) -> bool {
+        // Acquire pairs with the winner's Release store so that any state
+        // published before the flag was raised is visible here.
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Acquire))
     }
 
     /// Installs a [`SearchObserver`] that receives conflict, restart, and
@@ -298,6 +358,77 @@ impl Solver {
                 let cref = self.db.add(c, false, 0);
                 self.attach(cref);
                 true
+            }
+        }
+    }
+
+    /// Drains the clause-sharing channel and integrates every foreign
+    /// clause. Only called at the root level (restart boundaries).
+    fn import_shared(&mut self) {
+        let Some(mut exchange) = self.exchange.take() else {
+            return;
+        };
+        // Buffer first: the callback cannot borrow `self` mutably while the
+        // exchange (also owned by `self`) is being iterated.
+        let mut incoming: Vec<(Vec<Lit>, u32)> = Vec::new();
+        exchange.import(&mut |lits, glue| incoming.push((lits.to_vec(), glue)));
+        self.exchange = Some(exchange);
+        for (lits, glue) in incoming {
+            if !self.ok {
+                break;
+            }
+            self.import_clause(&lits, glue);
+        }
+    }
+
+    /// Integrates one clause learned by another portfolio worker.
+    ///
+    /// Mirrors [`add_input_clause`](Self::add_input_clause)'s root-level
+    /// normalization (drop false literals, skip satisfied clauses and
+    /// tautologies, dedup) so the stored clause respects every watch
+    /// invariant the auditor checks. Narrowing against level-0 assignments
+    /// keeps the clause a RUP consequence of the shared proof log, because
+    /// the level-0 units themselves are logged learned clauses.
+    fn import_clause(&mut self, lits: &[Lit], glue: u32) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if l.var().index() >= self.num_vars {
+                debug_assert!(false, "imported clause mentions unknown variable {l}");
+                return;
+            }
+            match self.value(l) {
+                LBool::True => return, // satisfied at level 0
+                LBool::False => continue,
+                LBool::Undef => {}
+            }
+            if c.contains(&!l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match *c.as_slice() {
+            [] => {
+                // Every literal is false at the root: the shared clause
+                // refutes the formula outright.
+                self.ok = false;
+                if let Some(p) = &mut self.proof {
+                    p.add_empty();
+                }
+            }
+            [unit] => {
+                // Asserted like a learned unit (no reason, no frequency
+                // bump); the next propagation fixpoint picks it up.
+                self.assign(unit, None);
+            }
+            _ => {
+                // Clamp the producer-side glue into the auditor's valid
+                // range: narrowing may have shortened the clause below it.
+                let glue = glue.clamp(1, c.len() as u32);
+                let cref = self.db.add_imported(c, glue);
+                self.attach(cref);
             }
         }
     }
@@ -893,6 +1024,9 @@ impl Solver {
                 if let Some(p) = &mut self.proof {
                     p.add(&learned);
                 }
+                if let Some(x) = &mut self.exchange {
+                    x.on_learn(&learned, glue);
+                }
                 self.backtrack(bt_level);
                 match *learned.as_slice() {
                     [] => debug_assert!(false, "learned clause cannot be empty"),
@@ -921,12 +1055,24 @@ impl Solver {
                         obs.on_restart(self.stats.restarts);
                     }
                     self.backtrack(0);
+                    // Restart boundaries are the import points: the trail is
+                    // at the root level, so foreign clauses can be attached,
+                    // narrowed, or asserted without interacting with any
+                    // in-flight decision.
+                    if self.exchange.is_some() {
+                        self.import_shared();
+                        if !self.ok {
+                            return SolveResult::Unsat;
+                        }
+                    }
                     self.checkpoint(Checkpoint::PostBackjump);
                     if let (Some(start), Some(t)) = (restart_timer, self.telemetry.as_deref_mut()) {
                         t.add_phase(Phase::Restart, start.elapsed());
                     }
                 }
-                if budget.exhausted(self.stats.conflicts, self.stats.propagations) {
+                if self.should_stop()
+                    || budget.exhausted(self.stats.conflicts, self.stats.propagations)
+                {
                     return SolveResult::Unknown;
                 }
             } else {
@@ -939,6 +1085,9 @@ impl Solver {
                         return SolveResult::Unsat;
                     }
                     AssumptionStep::Done => {}
+                }
+                if self.should_stop() {
+                    return SolveResult::Unknown;
                 }
                 let reducible = self
                     .db

@@ -41,6 +41,19 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/sat-solver/src/varmap.rs",
 ];
 
+/// Modules that coordinate racing threads. `Ordering::Relaxed` is suspect
+/// here: the portfolio stop flag and winner CAS carry real happens-before
+/// edges (Release store / Acquire load), and a relaxed operation on one of
+/// them is a liveness or soundness bug that tests will rarely catch. Only
+/// pure statistics counters may be relaxed, and every such site must be
+/// individually annotated with `// xtask: allow(atomic-ordering) <why>`.
+const CONCURRENCY_MODULES: &[&str] = &[
+    "crates/sat-solver/src/portfolio.rs",
+    "crates/sat-solver/src/solver.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/race.rs",
+];
+
 /// Crates on the deterministic solving path: iterating a `HashMap` or
 /// `HashSet` here would make runs irreproducible.
 const SOLVER_CRATES: &[&str] = &[
@@ -60,6 +73,10 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 
 fn is_hot_path(path: &str) -> bool {
     HOT_PATH_MODULES.contains(&path)
+}
+
+fn is_concurrency_module(path: &str) -> bool {
+    CONCURRENCY_MODULES.contains(&path)
 }
 
 fn is_solver_crate_src(path: &str) -> bool {
@@ -82,6 +99,9 @@ pub fn lint_file(path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
         no_panic(path, &tokens, &mut found);
         no_index(path, &tokens, &mut found);
         no_hard_assert(path, &tokens, &mut found);
+    }
+    if is_concurrency_module(path) {
+        atomic_ordering(path, &tokens, &mut found);
     }
     if is_solver_crate_src(path) {
         no_hash_iter(path, &tokens, &mut found);
@@ -202,6 +222,31 @@ fn no_hard_assert(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                     "`{}!` in a hot-path module; use `debug_assert!` instead",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+/// `atomic-ordering`: no `Ordering::Relaxed` in thread-coordination
+/// modules. Publication atomics (the stop flag, the winner CAS, anything a
+/// consumer reads to observe another thread's writes) need Release/Acquire
+/// pairs; relaxed is only defensible for standalone statistics counters,
+/// each annotated inline with the reason.
+fn atomic_ordering(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("Relaxed")
+            && i >= 2
+            && tokens[i - 1].is_punct("::")
+            && tokens[i - 2].is_ident("Ordering")
+        {
+            diag(
+                out,
+                "atomic-ordering",
+                path,
+                t.line,
+                "`Ordering::Relaxed` in a thread-coordination module; publication \
+                 atomics need Release/Acquire — if this is a pure statistics counter, \
+                 annotate the site with `// xtask: allow(atomic-ordering) <why>`",
             );
         }
     }
@@ -630,6 +675,28 @@ mod tests {
         let src = "use std::collections::HashSet;\nstruct S { seen: HashSet<u32> }\nimpl S {\n    fn f(&self) {\n        for v in &self.seen { let _ = v; }\n    }\n}\nfn g() {\n    let s = HashSet::from([1u32]);\n    let _ = s.iter().count();\n}";
         let d = run(SOLVER, src);
         assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_flags_relaxed_in_concurrency_modules() {
+        let src = "use std::sync::atomic::{AtomicBool, Ordering};\nfn f(stop: &AtomicBool) {\n    stop.store(true, Ordering::Relaxed);\n    let _ = stop.load(Ordering::Acquire);\n    stop.store(false, std::sync::atomic::Ordering::Relaxed);\n}";
+        let d = run("crates/sat-solver/src/portfolio.rs", src);
+        assert_eq!(rules(&d), vec!["atomic-ordering", "atomic-ordering"]);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 5); // fully qualified path is caught too
+    }
+
+    #[test]
+    fn atomic_ordering_respects_inline_allow_and_scope() {
+        let allowed = "fn f(n: &std::sync::atomic::AtomicU64) {\n    n.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter\n}";
+        assert!(run("crates/core/src/parallel.rs", allowed).is_empty());
+        // Outside the concurrency modules the rule does not apply.
+        let elsewhere =
+            "fn f(n: &std::sync::atomic::AtomicU64) { n.fetch_add(1, Ordering::Relaxed); }";
+        assert!(run("crates/bench/src/report.rs", elsewhere).is_empty());
+        // Test modules are stripped before linting.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t(s: &std::sync::atomic::AtomicBool) { s.store(true, Ordering::Relaxed); }\n}";
+        assert!(run("crates/sat-solver/src/portfolio.rs", in_tests).is_empty());
     }
 
     #[test]
