@@ -1,0 +1,49 @@
+//! Fuzz-style robustness properties for the DIMACS parser: on *any*
+//! byte sequence — raw noise, token-shaped noise, or a valid prefix with
+//! a corrupted tail — `parse_dimacs` must return `Ok` or `Err`. A panic
+//! fails the test; an allocation proportional to a hostile header would
+//! OOM it (the parser never preallocates from declared sizes).
+
+use cnf::parse_dimacs;
+use proptest::prelude::*;
+
+/// Bytes skewed toward DIMACS-relevant characters so the fuzzer reaches
+/// deep parser states (numbers, signs, comments) instead of bailing at
+/// the first byte.
+fn arb_tokenish_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let byte = prop_oneof![
+        Just(b'0'),
+        Just(b'1'),
+        Just(b'9'),
+        Just(b'-'),
+        Just(b' '),
+        Just(b'\n'),
+        Just(b'p'),
+        Just(b'c'),
+        Just(b'n'),
+        Just(b'f'),
+        any::<u8>(),
+    ];
+    proptest::collection::vec(byte, 0..256)
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_dimacs(bytes.as_slice());
+    }
+
+    #[test]
+    fn tokenish_bytes_never_panic(bytes in arb_tokenish_bytes()) {
+        let _ = parse_dimacs(bytes.as_slice());
+    }
+
+    #[test]
+    fn corrupted_tail_never_panics(tail in arb_tokenish_bytes(), vars in 0u64..=20, clauses in 0u64..=1_000_000_000_000) {
+        // A plausible header (possibly declaring absurd clause counts)
+        // followed by junk: must parse or error, never panic or OOM.
+        let mut input = format!("p cnf {vars} {clauses}\n1 2 0\n").into_bytes();
+        input.extend(tail);
+        let _ = parse_dimacs(input.as_slice());
+    }
+}

@@ -1,0 +1,195 @@
+//! The degradation ladder behind policy selection: model → static
+//! heuristic → default policy.
+//!
+//! The NeuroSelect pipeline treats the learned classifier as an
+//! *optimisation*, never a requirement: when the model cannot be
+//! consulted — its weights failed to load, inference panicked, or
+//! inference blew past the configured deadline — policy selection steps
+//! down to [`static_heuristic_policy`] (a clause/variable-ratio rule
+//! computed in O(1) from the parsed formula), and if even that panics, to
+//! [`PolicyKind::Default`]. Every step down is recorded as a
+//! [`DegradeReason`] so telemetry (`RunRecord` degradations) shows *why*
+//! a run was degraded, and the solve itself proceeds normally: a broken
+//! model can cost solving time, never a verdict.
+
+use cnf::Cnf;
+use sat_solver::{run_isolated, PolicyKind};
+use std::time::Duration;
+
+/// Which rung of the selection ladder produced the policy pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySource {
+    /// The modelled deployment pipeline: classifier inference, including
+    /// its by-design node-count cutoff (oversized instances use the
+    /// default policy *deliberately*, which is not a degradation).
+    Model,
+    /// The static clause/variable-ratio heuristic (model unavailable).
+    Heuristic,
+    /// The hard-coded default policy (the heuristic also failed).
+    Default,
+}
+
+impl PolicySource {
+    /// Stable lower-case name for telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicySource::Model => "model",
+            PolicySource::Heuristic => "heuristic",
+            PolicySource::Default => "default",
+        }
+    }
+}
+
+/// Why policy selection stepped down a rung.
+#[derive(Debug, Clone)]
+pub enum DegradeReason {
+    /// The model's weights could not be loaded; the error is sticky and
+    /// every later selection skips inference.
+    ModelLoad(String),
+    /// Inference panicked (caught; the panic message is kept).
+    InferencePanic(String),
+    /// Inference finished but exceeded the configured deadline, so its
+    /// answer is discarded: a model this slow is not worth its amortised
+    /// cost (Section 5.3 budgets inference against solving time).
+    InferenceDeadline {
+        /// The configured ceiling.
+        limit: Duration,
+        /// What inference actually took.
+        elapsed: Duration,
+    },
+    /// The static heuristic itself panicked.
+    HeuristicPanic(String),
+}
+
+impl DegradeReason {
+    /// Stable kind tag, used as the `RunRecord` degradation `kind`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DegradeReason::ModelLoad(_) => "model-load-error",
+            DegradeReason::InferencePanic(_) => "inference-panic",
+            DegradeReason::InferenceDeadline { .. } => "inference-deadline",
+            DegradeReason::HeuristicPanic(_) => "heuristic-panic",
+        }
+    }
+
+    /// Human-readable detail, used as the `RunRecord` degradation `detail`.
+    pub fn detail(&self) -> String {
+        match self {
+            DegradeReason::ModelLoad(e)
+            | DegradeReason::InferencePanic(e)
+            | DegradeReason::HeuristicPanic(e) => e.clone(),
+            DegradeReason::InferenceDeadline { limit, elapsed } => format!(
+                "inference took {:.3}s, deadline {:.3}s",
+                elapsed.as_secs_f64(),
+                limit.as_secs_f64()
+            ),
+        }
+    }
+}
+
+/// The outcome of the policy-selection ladder.
+#[derive(Debug, Clone)]
+pub struct PolicyDecision {
+    /// The deletion policy to run.
+    pub policy: PolicyKind,
+    /// The model's probability for the propagation-frequency policy
+    /// (0.0 when the model was not consulted).
+    pub probability: f32,
+    /// Which rung produced the pick.
+    pub source: PolicySource,
+    /// Every step down the ladder, in order (empty in normal operation).
+    pub degradations: Vec<DegradeReason>,
+}
+
+/// Picks a policy from static formula features, no model required.
+///
+/// The clause/variable ratio is the cheapest useful proxy for the
+/// paper's finding (Figure 4) that the propagation-frequency policy
+/// earns its keep on constraint-dense instances: at or above ratio 4.0
+/// (around the random-3-SAT phase transition) the search is
+/// conflict-heavy and propagation counters are informative, so the
+/// heuristic picks [`PolicyKind::PropFreq`]; sparser formulas keep
+/// [`PolicyKind::Default`].
+pub fn static_heuristic_policy(formula: &Cnf) -> PolicyKind {
+    #[cfg(feature = "faults")]
+    if faults::fire(faults::site::HEURISTIC_PANIC, &[]).is_some() {
+        panic!("injected fault: heuristic policy pick panicked");
+    }
+    let vars = formula.num_vars().max(1) as f64;
+    let ratio = formula.num_clauses() as f64 / vars;
+    if ratio >= 4.0 {
+        PolicyKind::PropFreq
+    } else {
+        PolicyKind::Default
+    }
+}
+
+/// Runs the rungs below the model: the static heuristic in panic
+/// isolation, then the unconditional default.
+pub(crate) fn degraded_decision(formula: &Cnf, reason: DegradeReason) -> PolicyDecision {
+    let mut degradations = vec![reason];
+    match run_isolated(|| static_heuristic_policy(formula)) {
+        Ok(policy) => PolicyDecision {
+            policy,
+            probability: 0.0,
+            source: PolicySource::Heuristic,
+            degradations,
+        },
+        Err(crash) => {
+            degradations.push(DegradeReason::HeuristicPanic(crash.message));
+            PolicyDecision {
+                policy: PolicyKind::Default,
+                probability: 0.0,
+                source: PolicySource::Default,
+                degradations,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_splits_on_clause_density() {
+        let dense = sat_gen::phase_transition_3sat(20, 1); // ratio ~4.27
+        assert_eq!(static_heuristic_policy(&dense), PolicyKind::PropFreq);
+        let sparse = cnf::parse_dimacs_str("p cnf 4 2\n1 2 0\n-3 4 0\n").unwrap();
+        assert_eq!(static_heuristic_policy(&sparse), PolicyKind::Default);
+    }
+
+    #[test]
+    fn degraded_decision_lands_on_the_heuristic() {
+        let f = sat_gen::phase_transition_3sat(20, 1);
+        let d = degraded_decision(&f, DegradeReason::ModelLoad(String::from("gone")));
+        assert_eq!(d.source, PolicySource::Heuristic);
+        assert_eq!(d.policy, PolicyKind::PropFreq);
+        assert_eq!(d.degradations.len(), 1);
+        assert_eq!(d.degradations.first().unwrap().kind(), "model-load-error");
+    }
+
+    #[test]
+    fn reason_kinds_are_stable() {
+        let reasons = [
+            DegradeReason::ModelLoad(String::from("x")),
+            DegradeReason::InferencePanic(String::from("x")),
+            DegradeReason::InferenceDeadline {
+                limit: Duration::from_millis(1),
+                elapsed: Duration::from_millis(2),
+            },
+            DegradeReason::HeuristicPanic(String::from("x")),
+        ];
+        let kinds: Vec<&str> = reasons.iter().map(DegradeReason::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "model-load-error",
+                "inference-panic",
+                "inference-deadline",
+                "heuristic-panic"
+            ]
+        );
+        assert!(reasons.iter().all(|r| !r.detail().is_empty()));
+    }
+}

@@ -50,6 +50,7 @@
 
 mod calibrate;
 mod classifier;
+mod fallback;
 mod label;
 mod metrics;
 mod parallel;
@@ -61,6 +62,7 @@ pub use classifier::{
     evaluate, train, train_with_validation, Classifier, EpochRecord, GinClassifier,
     NeuroSatClassifier, NeuroSelectClassifier, TrainConfig,
 };
+pub use fallback::{static_heuristic_policy, DegradeReason, PolicyDecision, PolicySource};
 pub use label::{
     label_batch, label_cnf, positive_rate, LabelOutcome, LabeledInstance, LabelingConfig,
 };

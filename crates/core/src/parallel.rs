@@ -66,7 +66,10 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(chunk) => chunk,
-                Err(panic) => std::panic::resume_unwind(panic),
+                // Data-parallel map has no degraded mode: a panicking
+                // closure is a caller bug, so the panic is re-raised
+                // unchanged on the calling thread.
+                Err(panic) => std::panic::resume_unwind(panic), // xtask: allow(no-unwind-escape) deliberate re-raise in par_map
             })
             .collect()
     });

@@ -10,6 +10,7 @@
 //! one worker on the rival policy as a hedge — and
 //! [`NeuroSelectSolver::solve_portfolio`] runs the race.
 
+use crate::fallback::{PolicyDecision, PolicySource};
 use crate::NeuroSelectSolver;
 use cnf::Cnf;
 use sat_solver::{
@@ -31,6 +32,10 @@ pub struct RaceOutcome {
     /// The portfolio result: verdict, winner, per-worker reports, pool
     /// counters, and the shared DRAT log.
     pub portfolio: PortfolioResult,
+    /// The full policy decision, including the ladder rung that produced
+    /// it and any degradations hit (also recorded in worker 0's
+    /// `RunRecord`).
+    pub decision: PolicyDecision,
 }
 
 /// Turns the classifier's probability for the propagation-frequency policy
@@ -89,20 +94,40 @@ impl NeuroSelectSolver {
         workers: usize,
         budget: Budget,
     ) -> Result<RaceOutcome, PortfolioError> {
-        let (chosen, probability, inference_time) = self.select_policy(formula);
-        let mix = policy_mix_for(probability, self.threshold, workers);
+        let (decision, inference_time) = self.decide_policy(formula);
+        // A degraded pick carries no model probability; synthesise a
+        // mildly confident one so the mix still tilts toward the
+        // heuristic's choice while keeping the rival hedge.
+        let mix_probability = if decision.source == PolicySource::Model {
+            decision.probability
+        } else if decision.policy == PolicyKind::PropFreq {
+            (self.threshold + 0.2).min(0.95)
+        } else {
+            (self.threshold - 0.2).max(0.05)
+        };
+        let mix = policy_mix_for(mix_probability, self.threshold, workers);
         let mut config = PortfolioConfig::new(workers);
-        config.base = SolverConfig::with_policy(chosen);
+        config.base = SolverConfig::with_policy(decision.policy);
         config.policy_mix = mix.clone();
         config.budget = budget;
         config.proof = true;
         config.instance_id = String::from("race");
-        let portfolio = solve_portfolio(formula, &config)?;
+        let mut portfolio = solve_portfolio(formula, &config)?;
+        if let Some(record) = portfolio
+            .workers
+            .first_mut()
+            .and_then(|w| w.record.as_mut())
+        {
+            for d in &decision.degradations {
+                record.degrade(d.kind(), d.detail());
+            }
+        }
         Ok(RaceOutcome {
-            probability,
+            probability: decision.probability,
             inference_time,
             mix,
             portfolio,
+            decision,
         })
     }
 }
@@ -148,6 +173,31 @@ mod tests {
     fn mix_single_worker_is_the_predicted_winner_only() {
         assert_eq!(policy_mix_for(0.7, 0.5, 1), vec![PolicyKind::PropFreq]);
         assert_eq!(policy_mix_for(0.3, 0.5, 1), vec![PolicyKind::Default]);
+    }
+
+    #[test]
+    fn degraded_race_still_wins_and_records_why() {
+        let f = sat_gen::phase_transition_3sat(25, 7);
+        let mut s = tiny_solver();
+        let _ = s.load_weights(std::path::Path::new("/nonexistent/weights.params"));
+        let out = s
+            .solve_portfolio(&f, 2, Budget::unlimited())
+            .expect("degraded race verified");
+        assert!(!out.portfolio.result.is_unknown());
+        assert_eq!(out.decision.source, PolicySource::Heuristic);
+        let record = out
+            .portfolio
+            .workers
+            .first()
+            .and_then(|w| w.record.as_ref())
+            .expect("worker 0 record");
+        assert!(
+            record
+                .degradations
+                .iter()
+                .any(|d| d.kind == "model-load-error"),
+            "degradation must be recorded in the worker record"
+        );
     }
 
     #[test]

@@ -1,9 +1,16 @@
 //! The NeuroSelect-guided solver: one model inference picks the deletion
 //! policy, then the CDCL solver runs with it (Section 4.1, Figure 6).
 
+use crate::fallback::{degraded_decision, DegradeReason, PolicyDecision, PolicySource};
 use crate::{Classifier, NeuroSelectClassifier};
 use cnf::Cnf;
-use sat_solver::{solve_with_policy_recorded, Budget, PolicyKind, SolveResult, SolverStats};
+use neuro::LoadParamsError;
+use sat_solver::{
+    run_isolated, solve_with_policy_recorded, Budget, PolicyKind, SolveResult, SolverStats,
+};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
 use std::time::{Duration, Instant};
 use telemetry::json::Json;
 use telemetry::{Phase, PhaseTimes, RunRecord, Sink};
@@ -24,6 +31,11 @@ pub struct SelectionOutcome {
     pub inference_time: Duration,
     /// Wall-clock time of the solving phase.
     pub solve_time: Duration,
+    /// Which rung of the selection ladder produced the policy pick.
+    pub source: PolicySource,
+    /// Degradations hit on the way to the pick (empty in normal
+    /// operation); also recorded in [`SelectionOutcome::record`].
+    pub degradations: Vec<DegradeReason>,
     /// Full telemetry record: solver phase timings and distributions plus
     /// the pipeline's `feature_extract` / `gnn_forward` / `policy_select`
     /// phases and the inference time.
@@ -50,6 +62,14 @@ pub struct NeuroSelectSolver {
     pub node_cutoff: usize,
     /// Decision threshold on the predicted probability.
     pub threshold: f32,
+    /// Ceiling on inference wall time. When inference finishes but took
+    /// longer than this, its answer is discarded and the static heuristic
+    /// picks instead (recorded as an `inference-deadline` degradation).
+    /// `None` (the default) imposes no ceiling.
+    pub inference_deadline: Option<Duration>,
+    /// Sticky model fault (e.g. a failed weight load): while set, every
+    /// selection skips inference and degrades to the static heuristic.
+    model_fault: Option<DegradeReason>,
 }
 
 impl NeuroSelectSolver {
@@ -59,6 +79,8 @@ impl NeuroSelectSolver {
             classifier,
             node_cutoff: 400_000,
             threshold: 0.5,
+            inference_deadline: None,
+            model_fault: None,
         }
     }
 
@@ -67,29 +89,122 @@ impl NeuroSelectSolver {
         &self.classifier
     }
 
+    /// Loads trained weights from `path` into the wrapped classifier.
+    ///
+    /// On failure the solver **stays usable but degraded**: the error is
+    /// remembered as a sticky model fault, and every later policy
+    /// selection skips inference and falls back to the static heuristic
+    /// (recorded as a `model-load-error` degradation in the run's
+    /// telemetry). A later successful load clears the fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`LoadParamsError`] so callers that *want*
+    /// to fail hard still can; ignoring it opts into degraded operation.
+    pub fn load_weights(&mut self, path: &Path) -> Result<(), LoadParamsError> {
+        let result = self.try_load_weights(path);
+        self.model_fault = result
+            .as_ref()
+            .err()
+            .map(|e| DegradeReason::ModelLoad(format!("{}: {e}", path.display())));
+        result
+    }
+
+    fn try_load_weights(&mut self, path: &Path) -> Result<(), LoadParamsError> {
+        let file = File::open(path)?;
+        #[cfg(feature = "faults")]
+        if let Some(cfg) = faults::fire(faults::site::MODEL_IO, &[]) {
+            let budget = cfg.get_u64("after", 16);
+            let reader = BufReader::new(faults::FailingReader::new(file, budget));
+            return neuro::load_params(reader, self.classifier.store_mut());
+        }
+        neuro::load_params(BufReader::new(file), self.classifier.store_mut())
+    }
+
+    /// The sticky model fault, if the model is currently out of service.
+    pub fn model_fault(&self) -> Option<&DegradeReason> {
+        self.model_fault.as_ref()
+    }
+
     /// Picks the deletion policy for a formula (one model inference),
     /// returning the policy, probability, and inference time.
     pub fn select_policy(&self, formula: &Cnf) -> (PolicyKind, f32, Duration) {
-        let (chosen, probability, elapsed, _) = self.select_policy_phased(formula);
-        (chosen, probability, elapsed)
+        let (decision, elapsed, _) = self.decide_policy_phased(formula);
+        (decision.policy, decision.probability, elapsed)
     }
 
-    /// [`select_policy`](Self::select_policy) with per-phase timing:
+    /// Picks the deletion policy through the full degradation ladder,
+    /// returning the [`PolicyDecision`] (policy, source rung, and any
+    /// degradations hit) together with the selection wall time.
+    pub fn decide_policy(&self, formula: &Cnf) -> (PolicyDecision, Duration) {
+        let (decision, elapsed, _) = self.decide_policy_phased(formula);
+        (decision, elapsed)
+    }
+
+    /// [`decide_policy`](Self::decide_policy) with per-phase timing:
     /// `feature_extract` (formula → graph tensors), `gnn_forward` (model
     /// forward pass), and `policy_select` (thresholding).
-    fn select_policy_phased(&self, formula: &Cnf) -> (PolicyKind, f32, Duration, PhaseTimes) {
+    ///
+    /// This is the pipeline's fallback chain. Inference runs in panic
+    /// isolation; a panic, a sticky model fault, or an inference time
+    /// beyond [`inference_deadline`](Self::inference_deadline) steps down
+    /// to the static heuristic (and, should that panic too, to the
+    /// default policy) — a broken model degrades the pick, never the run.
+    fn decide_policy_phased(&self, formula: &Cnf) -> (PolicyDecision, Duration, PhaseTimes) {
         let start = Instant::now();
         let mut phases = PhaseTimes::default();
+        if let Some(reason) = &self.model_fault {
+            let decision = degraded_decision(formula, reason.clone());
+            return (decision, start.elapsed(), phases);
+        }
         let nodes = formula.num_vars() as usize + formula.num_clauses();
         if nodes > self.node_cutoff {
-            return (PolicyKind::Default, 0.0, start.elapsed(), phases);
+            // By-design cutoff (the paper's GPU-memory limit), not a fault.
+            let decision = PolicyDecision {
+                policy: PolicyKind::Default,
+                probability: 0.0,
+                source: PolicySource::Model,
+                degradations: Vec::new(),
+            };
+            return (decision, start.elapsed(), phases);
         }
-        let prepared = {
-            let _guard = phases.scope(Phase::FeatureExtract);
-            self.classifier.prepare(formula)
+        // `run_isolated` is sound here for the same reason as in the
+        // portfolio: on panic the prepared tensors are dropped mid-unwind
+        // and never touched again, and the classifier's forward pass does
+        // not mutate shared state.
+        let inference = run_isolated(|| {
+            #[cfg(feature = "faults")]
+            if let Some(cfg) = faults::fire(faults::site::INFERENCE_STALL, &[]) {
+                std::thread::sleep(Duration::from_millis(cfg.get_u64("ms", 50)));
+            }
+            #[cfg(feature = "faults")]
+            if faults::fire(faults::site::INFERENCE_PANIC, &[]).is_some() {
+                panic!("injected fault: model inference panicked");
+            }
+            let mut inner = PhaseTimes::default();
+            let prepared = {
+                let _guard = inner.scope(Phase::FeatureExtract);
+                self.classifier.prepare(formula)
+            };
+            let (probability, forward_time) = self.classifier.predict_timed(&prepared);
+            inner.add(Phase::GnnForward, forward_time);
+            (probability, inner)
+        });
+        let (probability, inner) = match inference {
+            Ok(out) => out,
+            Err(crash) => {
+                let reason = DegradeReason::InferencePanic(crash.message);
+                return (degraded_decision(formula, reason), start.elapsed(), phases);
+            }
         };
-        let (probability, forward_time) = self.classifier.predict_timed(&prepared);
-        phases.add(Phase::GnnForward, forward_time);
+        phases.merge(&inner);
+        let elapsed = start.elapsed();
+        if let Some(limit) = self.inference_deadline {
+            if elapsed > limit {
+                let reason = DegradeReason::InferenceDeadline { limit, elapsed };
+                return (degraded_decision(formula, reason), start.elapsed(), phases);
+            }
+        }
         let select_start = Instant::now();
         let chosen = if probability > self.threshold {
             PolicyKind::PropFreq
@@ -97,7 +212,13 @@ impl NeuroSelectSolver {
             PolicyKind::Default
         };
         phases.add(Phase::PolicySelect, select_start.elapsed());
-        (chosen, probability, start.elapsed(), phases)
+        let decision = PolicyDecision {
+            policy: chosen,
+            probability,
+            source: PolicySource::Model,
+            degradations: Vec::new(),
+        };
+        (decision, start.elapsed(), phases)
     }
 
     /// Solves a formula with the model-selected deletion policy.
@@ -120,24 +241,31 @@ impl NeuroSelectSolver {
         instance_id: &str,
         sink: Option<Box<dyn Sink>>,
     ) -> SelectionOutcome {
-        let (chosen, probability, inference_time, pipeline_phases) =
-            self.select_policy_phased(formula);
+        let (decision, inference_time, pipeline_phases) = self.decide_policy_phased(formula);
         let solve_start = Instant::now();
         let (result, stats, mut record) =
-            solve_with_policy_recorded(formula, chosen, budget, instance_id, sink);
+            solve_with_policy_recorded(formula, decision.policy, budget, instance_id, sink);
         let solve_time = solve_start.elapsed();
         record.inference_time_s = Some(inference_time.as_secs_f64());
         record.phases.merge(&pipeline_phases);
         record
             .extra
-            .set("probability", Json::from(f64::from(probability)));
+            .set("probability", Json::from(f64::from(decision.probability)));
+        record
+            .extra
+            .set("policy_source", Json::from(decision.source.as_str()));
+        for d in &decision.degradations {
+            record.degrade(d.kind(), d.detail());
+        }
         SelectionOutcome {
             result,
             stats,
-            chosen,
-            probability,
+            chosen: decision.policy,
+            probability: decision.probability,
             inference_time,
             solve_time,
+            source: decision.source,
+            degradations: decision.degradations,
             record,
         }
     }
@@ -182,6 +310,71 @@ mod tests {
         let (policy, prob, _) = s.select_policy(&f);
         assert_eq!(policy, PolicyKind::Default);
         assert_eq!(prob, 0.0);
+    }
+
+    #[test]
+    fn failed_weight_load_degrades_to_the_heuristic() {
+        let f = sat_gen::phase_transition_3sat(20, 1); // dense: heuristic → PropFreq
+        let mut s = tiny_solver();
+        assert!(s
+            .load_weights(std::path::Path::new("/nonexistent/weights.params"))
+            .is_err());
+        assert!(s.model_fault().is_some(), "load failure must be sticky");
+        let (decision, _) = s.decide_policy(&f);
+        assert_eq!(decision.source, PolicySource::Heuristic);
+        assert_eq!(decision.policy, PolicyKind::PropFreq);
+        assert_eq!(decision.degradations.len(), 1);
+
+        // The degraded run still solves, and the record says why it was
+        // degraded.
+        let out = s.solve_recorded(&f, Budget::unlimited(), "degraded", None);
+        assert!(!out.result.is_unknown());
+        assert_eq!(out.source, PolicySource::Heuristic);
+        assert_eq!(out.record.degradations.len(), 1);
+        assert_eq!(
+            out.record.degradations.first().unwrap().kind,
+            "model-load-error"
+        );
+        assert_eq!(
+            out.record
+                .extra
+                .get("policy_source")
+                .and_then(|j| j.as_str()),
+            Some("heuristic")
+        );
+    }
+
+    #[test]
+    fn successful_weight_load_restores_the_model() {
+        let dir = std::env::temp_dir().join("neuroselect-select-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.params");
+        let mut s = tiny_solver();
+        {
+            let mut buf = Vec::new();
+            neuro::save_params(&mut buf, s.classifier().store()).unwrap();
+            std::fs::write(&path, buf).unwrap();
+        }
+        let _ = s.load_weights(std::path::Path::new("/nonexistent/weights.params"));
+        assert!(s.model_fault().is_some());
+        s.load_weights(&path).expect("round-trip load");
+        assert!(s.model_fault().is_none(), "a good load clears the fault");
+        let f = sat_gen::phase_transition_3sat(20, 1);
+        assert_eq!(s.decide_policy(&f).0.source, PolicySource::Model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_inference_deadline_degrades_every_pick() {
+        let f = sat_gen::phase_transition_3sat(20, 1);
+        let mut s = tiny_solver();
+        s.inference_deadline = Some(Duration::ZERO);
+        let (decision, _) = s.decide_policy(&f);
+        assert_eq!(decision.source, PolicySource::Heuristic);
+        assert_eq!(
+            decision.degradations.first().unwrap().kind(),
+            "inference-deadline"
+        );
     }
 
     #[test]

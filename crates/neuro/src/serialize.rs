@@ -55,6 +55,13 @@ fn format_err(m: impl Into<String>) -> LoadParamsError {
     LoadParamsError::Format(m.into())
 }
 
+/// Hard ceiling on the element count of a single tensor (64M floats =
+/// 256 MiB). Declared shapes are *attacker-controlled input* until the
+/// shape check against the model runs, so the loader must never allocate
+/// proportionally to them; any real NeuroSelect model is orders of
+/// magnitude smaller.
+const MAX_TENSOR_ELEMS: usize = 1 << 26;
+
 /// Writes every parameter value of `store` to `writer`.
 ///
 /// Pass `&mut writer` if you need the writer back afterwards.
@@ -125,6 +132,8 @@ pub fn load_params<R: BufRead>(reader: R, store: &mut ParamStore) -> Result<(), 
             store.len()
         )));
     }
+    // `count` equals the live model's tensor count here, so this
+    // preallocation is bounded by the caller, not the file.
     let mut values = Vec::with_capacity(count);
     for t in 0..count {
         let shape_line = next()?;
@@ -140,21 +149,43 @@ pub fn load_params<R: BufRead>(reader: R, store: &mut ParamStore) -> Result<(), 
             .next()
             .and_then(|x| x.parse().ok())
             .ok_or_else(|| format_err(format!("tensor {t}: bad column count")))?;
-        let mut data = Vec::with_capacity(rows * cols);
+        let elems = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= MAX_TENSOR_ELEMS)
+            .ok_or_else(|| {
+                format_err(format!(
+                    "tensor {t}: declared shape {rows}x{cols} too large"
+                ))
+            })?;
+        let mut data = Vec::with_capacity(elems);
         for r in 0..rows {
             let row_line = next()?;
-            let row: Result<Vec<f32>, _> = row_line
-                .split_whitespace()
-                .map(|x| x.parse::<f32>())
-                .collect();
-            let row = row.map_err(|_| format_err(format!("tensor {t}, row {r}: bad float")))?;
-            if row.len() != cols {
+            let mut row_len = 0usize;
+            for x in row_line.split_whitespace() {
+                let v: f32 = x
+                    .parse()
+                    .map_err(|_| format_err(format!("tensor {t}, row {r}: bad float")))?;
+                if !v.is_finite() {
+                    return Err(format_err(format!(
+                        "tensor {t}, row {r}: non-finite value {v}"
+                    )));
+                }
+                row_len += 1;
+                if row_len > cols {
+                    break;
+                }
+                data.push(v);
+            }
+            if row_len != cols {
                 return Err(format_err(format!(
                     "tensor {t}, row {r}: expected {cols} values, found {}",
-                    row.len()
+                    if row_len > cols {
+                        String::from("more")
+                    } else {
+                        row_len.to_string()
+                    }
                 )));
             }
-            data.extend(row);
         }
         values.push(Matrix::from_vec(rows, cols, data));
     }
@@ -226,6 +257,38 @@ mod tests {
         other.add(Matrix::zeros(2, 2));
         other.add(Matrix::zeros(1, 2)); // wrong second shape
         assert!(load_params(buf.as_slice(), &mut other).is_err());
+    }
+
+    #[test]
+    fn rejects_huge_declared_shapes_without_allocating() {
+        // A hostile header declaring a ~10^18-element tensor must fail
+        // fast on the shape ceiling, not attempt the allocation.
+        let mut store = sample_store();
+        let text = "neuro-params v1\ntensors 2\ntensor 4294967295 4294967295\n";
+        let err = load_params(text.as_bytes(), &mut store).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+        let text = "neuro-params v1\ntensors 2\ntensor 1000000 1000000\n";
+        let err = load_params(text.as_bytes(), &mut store).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let mut store = ParamStore::new();
+            store.add(Matrix::zeros(1, 2));
+            let text = format!("neuro-params v1\ntensors 1\ntensor 1 2\n1.0 {bad}\n");
+            let err = load_params(text.as_bytes(), &mut store).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_rows() {
+        let mut store = ParamStore::new();
+        store.add(Matrix::zeros(1, 2));
+        let text = "neuro-params v1\ntensors 1\ntensor 1 2\n1.0 2.0 3.0\n";
+        assert!(load_params(text.as_bytes(), &mut store).is_err());
     }
 
     #[test]

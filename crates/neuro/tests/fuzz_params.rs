@@ -1,0 +1,57 @@
+//! Fuzz-style robustness properties for the parameter deserializer: on
+//! *any* byte sequence `load_params` must return `Ok` or `Err` — never
+//! panic, and never allocate proportionally to shapes declared by the
+//! file (a hostile `tensor R C` header is input, not a size to trust).
+
+use neuro::{load_params, Matrix, ParamStore};
+use proptest::prelude::*;
+
+fn small_store() -> ParamStore {
+    let mut s = ParamStore::new();
+    s.add(Matrix::zeros(2, 3));
+    s.add(Matrix::zeros(1, 1));
+    s
+}
+
+/// Bytes skewed toward the format's own vocabulary so the fuzzer gets
+/// past the header check and into shape/row parsing.
+fn arb_paramish_bytes() -> impl Strategy<Value = Vec<u8>> {
+    let byte = prop_oneof![
+        Just(b'0'),
+        Just(b'1'),
+        Just(b'.'),
+        Just(b'-'),
+        Just(b'e'),
+        Just(b' '),
+        Just(b'\n'),
+        Just(b't'),
+        any::<u8>(),
+    ];
+    proptest::collection::vec(byte, 0..256)
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut store = small_store();
+        let _ = load_params(bytes.as_slice(), &mut store);
+    }
+
+    #[test]
+    fn corrupted_tail_never_panics(tail in arb_paramish_bytes()) {
+        // A valid preamble followed by junk reaches the tensor parser.
+        let mut input = b"neuro-params v1\ntensors 2\n".to_vec();
+        input.extend(tail);
+        let mut store = small_store();
+        let _ = load_params(input.as_slice(), &mut store);
+    }
+
+    #[test]
+    fn hostile_shapes_never_allocate(rows in 0u64..u64::MAX, cols in 0u64..u64::MAX) {
+        // Declared shapes up to u64::MAX must fail on the ceiling (or a
+        // shape/row mismatch), not in the allocator.
+        let input = format!("neuro-params v1\ntensors 2\ntensor {rows} {cols}\n");
+        let mut store = small_store();
+        prop_assert!(load_params(input.as_bytes(), &mut store).is_err());
+    }
+}

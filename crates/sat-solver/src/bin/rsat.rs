@@ -3,10 +3,18 @@
 //! ```text
 //! rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]
 //!               [--conflicts N] [--propagations N] [--proof FILE.drat]
+//!               [--timeout SECS] [--mem-limit MB]
 //!               [--check-proof] [--check[=off|light|full]] [--preprocess]
 //!               [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]
-//!               [--portfolio[=N]] [--seed N]
+//!               [--portfolio[=N]] [--seed N] [--fault-plan PLAN]
 //! ```
+//!
+//! `--timeout` and `--mem-limit` are *cooperative* resource ceilings
+//! checked at search boundaries: exhausting one yields `s UNKNOWN` (exit
+//! 0) with intact statistics and a `c stop:` line naming the cause, never
+//! a crash. `--fault-plan` (or the `FAULT_PLAN` environment variable)
+//! arms deterministic fault injection when the binary is built with the
+//! `faults` feature; without it the flag is a polite error.
 //!
 //! `--portfolio[=N]` races N diversified solvers (defaulting to the
 //! machine's parallelism) with a shared clause pool and returns the first
@@ -48,15 +56,22 @@ struct Options {
     progress: Option<f64>,
     portfolio: Option<usize>,
     seed: u64,
+    /// Wall-clock ceiling, applied to the budget right before solving
+    /// starts (so parse time does not eat into it).
+    timeout: Option<Duration>,
+    /// Approximate memory ceiling in MiB.
+    mem_limit_mb: Option<u64>,
+    fault_plan: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rsat FILE.cnf [--policy default|prop-freq|activity] [--alpha F]\n\
          \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
+         \x20             [--timeout SECS] [--mem-limit MB]\n\
          \x20             [--check-proof] [--check[=off|light|full]] [--preprocess]\n\
          \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]\n\
-         \x20             [--portfolio[=N]] [--seed N]"
+         \x20             [--portfolio[=N]] [--seed N] [--fault-plan PLAN]"
     );
     std::process::exit(1)
 }
@@ -119,6 +134,17 @@ fn parse_args() -> Options {
     let mut progress = None;
     let mut portfolio = None;
     let mut seed = 0u64;
+    let mut timeout = None;
+    let mut mem_limit_mb = None;
+    let mut fault_plan = None;
+    let parse_timeout = |v: Option<String>| -> Option<Duration> {
+        let secs: f64 = v.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        if secs >= 0.0 && secs.is_finite() {
+            Some(Duration::from_secs_f64(secs))
+        } else {
+            usage()
+        }
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--policy" => {
@@ -136,6 +162,28 @@ fn parse_args() -> Options {
             "--propagations" => {
                 budget.max_propagations =
                     args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--timeout" => timeout = parse_timeout(args.next()),
+            t if t.starts_with("--timeout=") => {
+                timeout = parse_timeout(Some(t["--timeout=".len()..].to_string()));
+            }
+            "--mem-limit" => {
+                mem_limit_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            m if m.starts_with("--mem-limit=") => {
+                mem_limit_mb = Some(
+                    m["--mem-limit=".len()..]
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--fault-plan" => fault_plan = Some(args.next().unwrap_or_else(|| usage())),
+            p if p.starts_with("--fault-plan=") => {
+                fault_plan = Some(p["--fault-plan=".len()..].to_string());
             }
             "--proof" => proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => check = true,
@@ -201,15 +249,94 @@ fn parse_args() -> Options {
         progress,
         portfolio,
         seed,
+        timeout,
+        mem_limit_mb,
+        fault_plan,
     }
+}
+
+/// Returns `opts.budget` with the wall-clock/memory ceilings applied.
+/// Called right before solving so the deadline excludes parse time.
+fn armed_budget(opts: &Options) -> Budget {
+    let mut budget = opts.budget;
+    if let Some(timeout) = opts.timeout {
+        budget = budget.with_deadline_in(timeout);
+    }
+    if let Some(mb) = opts.mem_limit_mb {
+        budget = budget.with_memory_limit(mb.saturating_mul(1024 * 1024));
+    }
+    budget
+}
+
+/// Arms fault injection from `--fault-plan` and the `FAULT_PLAN`
+/// environment variable. A plan on a binary built without the `faults`
+/// feature is a usage error, not a silent no-op: a chaos harness that
+/// thinks it is injecting faults but is not would report vacuous passes.
+fn arm_fault_plan(opts: &Options) -> Result<(), String> {
+    #[cfg(feature = "faults")]
+    {
+        match faults::install_from_env() {
+            Ok(true) => println!("c fault plan armed from ${}", faults::ENV_VAR),
+            Ok(false) => {}
+            Err(e) => return Err(format!("bad ${}: {e}", faults::ENV_VAR)),
+        }
+        if let Some(plan) = &opts.fault_plan {
+            let plan = plan
+                .parse::<faults::FaultPlan>()
+                .map_err(|e| format!("bad --fault-plan: {e}"))?;
+            faults::install_global(plan);
+            println!("c fault plan armed from --fault-plan");
+        }
+        Ok(())
+    }
+    #[cfg(not(feature = "faults"))]
+    {
+        if opts.fault_plan.is_some() || std::env::var_os("FAULT_PLAN").is_some() {
+            return Err(String::from(
+                "fault injection requested, but this rsat was built without \
+                 the `faults` feature (rebuild with `--features faults`)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Opens and parses the DIMACS input. The `dimacs-io` fault point swaps
+/// the file for one that fails mid-stream, exercising the same graceful
+/// diagnostic path a real disk/network failure would take.
+fn read_formula(path: &str) -> Result<cnf::Cnf, String> {
+    let file = File::open(path).map_err(|e| e.to_string())?;
+    #[cfg(feature = "faults")]
+    if let Some(cfg) = faults::fire(faults::site::DIMACS_IO, &[]) {
+        let reader = BufReader::new(faults::FailingReader::new(file, cfg.get_u64("after", 64)));
+        return cnf::parse_dimacs(reader).map_err(|e| e.to_string());
+    }
+    cnf::parse_dimacs(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// Writes the DRAT proof to an opened file. The `drat-truncate` fault
+/// point cuts the byte stream short — a full disk or severed pipe —
+/// which must surface as an I/O error, never a silently short proof.
+fn write_drat_file(proof: &sat_solver::ProofLogger, file: File) -> std::io::Result<()> {
+    #[cfg(feature = "faults")]
+    if let Some(cfg) = faults::fire(faults::site::DRAT_TRUNCATE, &[]) {
+        let mut w = BufWriter::new(faults::TruncatingWriter::new(
+            file,
+            cfg.get_u64("after", 64),
+        ));
+        return proof.write_drat(&mut w).and_then(|()| w.flush());
+    }
+    let mut w = BufWriter::new(file);
+    proof.write_drat(&mut w).and_then(|()| w.flush())
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let formula = match File::open(&opts.file)
-        .map_err(|e| e.to_string())
-        .and_then(|f| cnf::parse_dimacs(BufReader::new(f)).map_err(|e| e.to_string()))
-    {
+    if let Err(e) = arm_fault_plan(&opts) {
+        eprintln!("rsat: {e}");
+        return ExitCode::from(1);
+    }
+    let formula = match read_formula(&opts.file) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("rsat: {}: {e}", opts.file);
@@ -308,7 +435,7 @@ fn main() -> ExitCode {
         solver.set_telemetry(tel);
     }
 
-    let result = solver.solve_with_budget(opts.budget);
+    let result = solver.solve_with_budget(armed_budget(&opts));
 
     if opts.check_level.is_some() {
         if let Err(e) = solver.audit_invariants(Checkpoint::PostPropagate) {
@@ -380,6 +507,9 @@ fn main() -> ExitCode {
             20
         }
         SolveResult::Unknown => {
+            if let Some(cause) = solver.stop_cause() {
+                println!("c stop: {}", cause.as_str());
+            }
             println!("s UNKNOWN");
             0
         }
@@ -389,8 +519,7 @@ fn main() -> ExitCode {
         if let Some(path) = &opts.proof_path {
             match File::create(path) {
                 Ok(f) => {
-                    let mut w = BufWriter::new(f);
-                    if proof.write_drat(&mut w).and_then(|()| w.flush()).is_err() {
+                    if write_drat_file(&proof, f).is_err() {
                         eprintln!("rsat: failed to write proof to {path}");
                         return ExitCode::from(1);
                     }
@@ -424,7 +553,7 @@ fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode
     base.seed = opts.seed;
     let mut config = PortfolioConfig::new(workers);
     config.base = base;
-    config.budget = opts.budget;
+    config.budget = armed_budget(opts);
     config.proof = opts.proof_path.is_some() || check_on_unsat;
     config.instance_id = std::path::Path::new(&opts.file)
         .file_name()
@@ -478,9 +607,21 @@ fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode
         }
         let pool = outcome.pool;
         println!(
-            "c pool | exported {} | imported {} | duplicate-dropped {} | capacity-dropped {}",
-            pool.exported, pool.imported, pool.dropped_duplicate, pool.dropped_capacity
+            "c pool | exported {} | imported {} | duplicate-dropped {} | capacity-dropped {} \
+             | poisoned-dropped {} | quarantine-dropped {}",
+            pool.exported,
+            pool.imported,
+            pool.dropped_duplicate,
+            pool.dropped_capacity,
+            pool.dropped_poisoned,
+            pool.dropped_quarantined
         );
+        if !outcome.crashed.is_empty() {
+            println!(
+                "c crashed workers: {:?} (race degraded to the survivors)",
+                outcome.crashed
+            );
+        }
         match outcome.winner {
             Some(w) => println!("c winner: worker {w}"),
             None => println!("c no winner: every worker exhausted its budget"),
@@ -515,8 +656,7 @@ fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode
         if let Some(path) = &opts.proof_path {
             match File::create(path) {
                 Ok(f) => {
-                    let mut w = BufWriter::new(f);
-                    if proof.write_drat(&mut w).and_then(|()| w.flush()).is_err() {
+                    if write_drat_file(proof, f).is_err() {
                         eprintln!("rsat: failed to write proof to {path}");
                         return ExitCode::from(1);
                     }

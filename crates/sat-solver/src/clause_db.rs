@@ -81,6 +81,9 @@ pub struct ClauseDb {
     num_original: usize,
     num_imported: usize,
     lits_in_learned: usize,
+    /// Total literal occurrences across *all* live clauses, maintained so
+    /// [`ClauseDb::memory_bytes`] is O(1).
+    live_lits: usize,
 }
 
 impl ClauseDb {
@@ -118,6 +121,7 @@ impl ClauseDb {
         if imported {
             self.num_imported += 1;
         }
+        self.live_lits += lits.len();
         let clause = StoredClause {
             lits,
             glue,
@@ -192,6 +196,7 @@ impl ClauseDb {
         if imported {
             self.num_imported -= 1;
         }
+        self.live_lits -= len;
         self.free.push(cref.index() as u32);
     }
 
@@ -223,6 +228,21 @@ impl ClauseDb {
     #[inline]
     pub fn lits_in_learned(&self) -> usize {
         self.lits_in_learned
+    }
+
+    /// Approximate heap footprint of the database in bytes, computed in
+    /// O(1) from maintained counters: the slab's slot array (capacity,
+    /// since the allocation persists across deletions), the literal
+    /// storage of live clauses, and the free list. Per-clause `Vec`
+    /// over-allocation is not tracked — clause literal vectors are built
+    /// exactly-sized — so this is a slight underestimate, which is the
+    /// right direction for a *cooperative* memory ceiling.
+    #[inline]
+    pub fn memory_bytes(&self) -> u64 {
+        let slab = self.clauses.capacity() * std::mem::size_of::<StoredClause>();
+        let lits = self.live_lits * std::mem::size_of::<Lit>();
+        let free = self.free.capacity() * std::mem::size_of::<u32>();
+        (slab + lits + free) as u64
     }
 
     /// Iterates over handles of all live clauses.
@@ -314,6 +334,24 @@ mod tests {
         let learned: Vec<_> = db.iter_learned().collect();
         assert_eq!(learned, vec![l2]);
         assert_eq!(db.iter_refs().count(), 2);
+    }
+
+    #[test]
+    fn memory_estimate_tracks_additions_and_deletions() {
+        let mut db = ClauseDb::new();
+        let empty = db.memory_bytes();
+        let refs: Vec<ClauseRef> = (0..100)
+            .map(|i| db.add(lits(&[i + 1, i + 2, -(i + 3)]), true, 2))
+            .collect();
+        let full = db.memory_bytes();
+        assert!(full > empty);
+        for r in refs {
+            db.remove(r);
+        }
+        // Live-literal bytes are released (the dominant term for many
+        // clauses); slab and free-list capacity persist by design.
+        assert!(db.memory_bytes() < full);
+        assert!(db.memory_bytes() > 0, "slab capacity is still accounted");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Solver configuration, resource budgets, and results.
 
 use crate::{Branching, PolicyKind, RestartStrategy};
+use std::time::{Duration, Instant};
 
 /// Tunable parameters of the CDCL solver.
 ///
@@ -78,16 +79,29 @@ impl SolverConfig {
 
 /// Resource limits for one `solve` call.
 ///
-/// The solver checks limits at every conflict; when a limit is hit it
-/// returns [`SolveResult::Unknown`]. `Budget::default()` is unlimited.
+/// The solver checks limits cooperatively at every conflict and every
+/// decision; when a limit is hit it returns [`SolveResult::Unknown`]
+/// with stats intact and records the cause (see
+/// [`Solver::stop_cause`](crate::Solver::stop_cause)). `Budget::default()`
+/// is unlimited.
+///
+/// The wall-clock deadline is an *absolute* instant so that one budget
+/// value shared by every portfolio worker means one common deadline,
+/// no matter when each worker thread starts. The memory ceiling is
+/// approximate: it bounds the solver's dominant allocations (clause
+/// database, per-variable state, watch lists) as estimated by
+/// [`Solver::approx_memory_bytes`](crate::Solver::approx_memory_bytes),
+/// not the process RSS.
 ///
 /// # Examples
 ///
 /// ```
 /// use sat_solver::Budget;
-/// let b = Budget::conflicts(10_000);
+/// use std::time::Duration;
+/// let b = Budget::conflicts(10_000).with_deadline_in(Duration::from_secs(5));
 /// assert_eq!(b.max_conflicts, Some(10_000));
 /// assert_eq!(b.max_propagations, None);
+/// assert!(b.deadline.is_some());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budget {
@@ -95,6 +109,11 @@ pub struct Budget {
     pub max_conflicts: Option<u64>,
     /// Stop after this many propagations.
     pub max_propagations: Option<u64>,
+    /// Stop once this wall-clock instant has passed.
+    pub deadline: Option<Instant>,
+    /// Stop once the solver's approximate memory footprint exceeds this
+    /// many bytes.
+    pub max_memory_bytes: Option<u64>,
 }
 
 impl Budget {
@@ -107,22 +126,105 @@ impl Budget {
     pub fn conflicts(n: u64) -> Self {
         Budget {
             max_conflicts: Some(n),
-            max_propagations: None,
+            ..Budget::default()
         }
     }
 
     /// Limit by propagation count only.
     pub fn propagations(n: u64) -> Self {
         Budget {
-            max_conflicts: None,
             max_propagations: Some(n),
+            ..Budget::default()
         }
     }
 
-    /// Whether the given counters exhaust this budget.
+    /// Limit by wall clock only: the deadline is `timeout` from now.
+    pub fn wall_clock(timeout: Duration) -> Self {
+        Budget::default().with_deadline_in(timeout)
+    }
+
+    /// Limit by approximate memory footprint only.
+    pub fn memory_bytes(n: u64) -> Self {
+        Budget {
+            max_memory_bytes: Some(n),
+            ..Budget::default()
+        }
+    }
+
+    /// Returns `self` with the deadline set to `timeout` from now.
+    /// Saturates at the far future if the addition overflows.
+    pub fn with_deadline_in(mut self, timeout: Duration) -> Self {
+        let now = Instant::now();
+        self.deadline = Some(now.checked_add(timeout).unwrap_or(now));
+        self
+    }
+
+    /// Returns `self` with the given approximate memory ceiling.
+    pub fn with_memory_limit(mut self, bytes: u64) -> Self {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Whether the given counters exhaust this budget (counter limits
+    /// only; see [`Budget::check`] for the full check).
     pub fn exhausted(&self, conflicts: u64, propagations: u64) -> bool {
         self.max_conflicts.is_some_and(|m| conflicts >= m)
             || self.max_propagations.is_some_and(|m| propagations >= m)
+    }
+
+    /// Full budget check: counters, wall-clock deadline, and memory
+    /// ceiling, in that order. Returns the first exhausted limit.
+    ///
+    /// `Instant::now()` is only consulted when a deadline is set, so
+    /// counter-only budgets (the default) stay syscall-free and their
+    /// runs remain bit-reproducible.
+    pub fn check(
+        &self,
+        conflicts: u64,
+        propagations: u64,
+        memory_bytes: impl FnOnce() -> u64,
+    ) -> Option<StopCause> {
+        if self.max_conflicts.is_some_and(|m| conflicts >= m) {
+            return Some(StopCause::Conflicts);
+        }
+        if self.max_propagations.is_some_and(|m| propagations >= m) {
+            return Some(StopCause::Propagations);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopCause::Deadline);
+        }
+        if self.max_memory_bytes.is_some_and(|m| memory_bytes() > m) {
+            return Some(StopCause::Memory);
+        }
+        None
+    }
+}
+
+/// Why a `solve` call returned [`SolveResult::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The conflict budget was exhausted.
+    Conflicts,
+    /// The propagation budget was exhausted.
+    Propagations,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The approximate memory ceiling was exceeded.
+    Memory,
+    /// An external stop signal fired (e.g. another portfolio worker won).
+    External,
+}
+
+impl StopCause {
+    /// Stable lowercase name, used in CLI output and telemetry records.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopCause::Conflicts => "conflicts",
+            StopCause::Propagations => "propagations",
+            StopCause::Deadline => "deadline",
+            StopCause::Memory => "memory",
+            StopCause::External => "external",
+        }
     }
 }
 
@@ -207,11 +309,56 @@ mod tests {
         let b = Budget {
             max_conflicts: Some(10),
             max_propagations: Some(100),
+            ..Budget::default()
         };
         assert!(!b.exhausted(9, 99));
         assert!(b.exhausted(10, 0));
         assert!(b.exhausted(0, 100));
         assert!(!Budget::unlimited().exhausted(u64::MAX - 1, u64::MAX - 1));
+    }
+
+    #[test]
+    fn check_reports_the_first_exhausted_limit() {
+        let b = Budget {
+            max_conflicts: Some(10),
+            max_propagations: Some(100),
+            ..Budget::default()
+        };
+        assert_eq!(b.check(9, 99, || 0), None);
+        assert_eq!(b.check(10, 0, || 0), Some(StopCause::Conflicts));
+        assert_eq!(b.check(0, 100, || 0), Some(StopCause::Propagations));
+    }
+
+    #[test]
+    fn check_honors_deadline_and_memory() {
+        let past = Budget::wall_clock(Duration::from_secs(0));
+        assert_eq!(past.check(0, 0, || 0), Some(StopCause::Deadline));
+        let future = Budget::wall_clock(Duration::from_secs(3600));
+        assert_eq!(future.check(0, 0, || 0), None);
+
+        let mem = Budget::memory_bytes(1000);
+        assert_eq!(mem.check(0, 0, || 1000), None);
+        assert_eq!(mem.check(0, 0, || 1001), Some(StopCause::Memory));
+    }
+
+    #[test]
+    fn memory_probe_is_lazy_without_a_ceiling() {
+        // A counter-only budget must never evaluate the memory estimate.
+        let b = Budget::conflicts(5);
+        assert_eq!(b.check(0, 0, || panic!("memory probe must not run")), None);
+    }
+
+    #[test]
+    fn stop_cause_names_are_stable() {
+        for (cause, name) in [
+            (StopCause::Conflicts, "conflicts"),
+            (StopCause::Propagations, "propagations"),
+            (StopCause::Deadline, "deadline"),
+            (StopCause::Memory, "memory"),
+            (StopCause::External, "external"),
+        ] {
+            assert_eq!(cause.as_str(), name);
+        }
     }
 
     #[test]

@@ -47,13 +47,14 @@ mod policy;
 mod portfolio;
 mod preprocess;
 mod proof;
+mod resilience;
 mod restart;
 mod solver;
 mod varmap;
 mod vmtf;
 
 pub use check::{CheckError, CheckLevel};
-pub use config::{Budget, SolveResult, SolverConfig, SolverStats};
+pub use config::{Budget, SolveResult, SolverConfig, SolverStats, StopCause};
 pub use freq::FrequencyTable;
 pub use instrument::SolverTelemetry;
 pub use lbool::LBool;
@@ -67,6 +68,7 @@ pub use portfolio::{
 };
 pub use preprocess::{preprocess, PreprocessConfig, Preprocessed, Reconstruction};
 pub use proof::{check_proof, ProofError, ProofLogger, ProofStep};
+pub use resilience::{run_isolated, WorkerCrash};
 pub use restart::{luby, RestartScheduler, RestartStrategy};
 pub use solver::{
     solve_with_policy, solve_with_policy_recorded, Branching, Checkpoint, ClauseExchange, DbStats,

@@ -154,6 +154,12 @@ pub struct PoolStats {
     pub dropped_duplicate: u64,
     /// Exports dropped because the target stripe was full.
     pub dropped_capacity: u64,
+    /// Exports and imports skipped because the target stripe was poisoned
+    /// by a crashed worker.
+    pub dropped_poisoned: u64,
+    /// Exports rejected and pooled entries withheld because their
+    /// producer was quarantined after crashing.
+    pub dropped_quarantined: u64,
 }
 
 /// One clause in the pool, cheap to clone across importers.
@@ -180,11 +186,18 @@ struct Stripe {
 pub struct SharedClausePool {
     stripes: Vec<Mutex<Stripe>>,
     capacity_per_stripe: usize,
+    /// Bitmask of quarantined producers: bit `w` set means worker `w`'s
+    /// entries are withheld from importers and its exports rejected.
+    /// Workers ≥ 63 share the top bit — conservative (a crash among them
+    /// quarantines them all), which only costs sharing, never soundness.
+    quarantined: AtomicU64,
     // Pure statistics counters: ordering never gates correctness.
-    exported: AtomicU64,    // xtask: allow(atomic-ordering) statistics counter
-    imported: AtomicU64,    // xtask: allow(atomic-ordering) statistics counter
-    dropped_dup: AtomicU64, // xtask: allow(atomic-ordering) statistics counter
-    dropped_cap: AtomicU64, // xtask: allow(atomic-ordering) statistics counter
+    exported: AtomicU64,       // xtask: allow(atomic-ordering) statistics counter
+    imported: AtomicU64,       // xtask: allow(atomic-ordering) statistics counter
+    dropped_dup: AtomicU64,    // xtask: allow(atomic-ordering) statistics counter
+    dropped_cap: AtomicU64,    // xtask: allow(atomic-ordering) statistics counter
+    dropped_poison: AtomicU64, // xtask: allow(atomic-ordering) statistics counter
+    dropped_quar: AtomicU64,   // xtask: allow(atomic-ordering) statistics counter
 }
 
 impl SharedClausePool {
@@ -196,10 +209,13 @@ impl SharedClausePool {
                 .map(|_| Mutex::new(Stripe::default()))
                 .collect(),
             capacity_per_stripe: capacity.max(1),
+            quarantined: AtomicU64::new(0),
             exported: AtomicU64::new(0),
             imported: AtomicU64::new(0),
             dropped_dup: AtomicU64::new(0),
             dropped_cap: AtomicU64::new(0),
+            dropped_poison: AtomicU64::new(0),
+            dropped_quar: AtomicU64::new(0),
         }
     }
 
@@ -215,27 +231,55 @@ impl SharedClausePool {
             imported: self.imported.load(Ordering::Relaxed), // xtask: allow(atomic-ordering) statistics counter
             dropped_duplicate: self.dropped_dup.load(Ordering::Relaxed), // xtask: allow(atomic-ordering) statistics counter
             dropped_capacity: self.dropped_cap.load(Ordering::Relaxed), // xtask: allow(atomic-ordering) statistics counter
+            dropped_poisoned: self.dropped_poison.load(Ordering::Relaxed), // xtask: allow(atomic-ordering) statistics counter
+            dropped_quarantined: self.dropped_quar.load(Ordering::Relaxed), // xtask: allow(atomic-ordering) statistics counter
         }
     }
 
-    fn lock_stripe(&self, index: usize) -> MutexGuard<'_, Stripe> {
+    /// Quarantines `producer`: entries it already exported are withheld
+    /// from future imports and new exports from it are rejected. Called
+    /// when a worker crashes — its panic is evidence of internal-state
+    /// corruption, so nothing it published is trusted anymore. (Clauses
+    /// imported *before* the quarantine remain subject to end-of-race
+    /// verification; see the module docs on soundness.)
+    pub fn quarantine(&self, producer: usize) {
+        // AcqRel publishes the bit before the crash is reported; importers
+        // read with Acquire in `is_quarantined`.
+        self.quarantined
+            .fetch_or(quarantine_bit(producer), Ordering::AcqRel);
+    }
+
+    /// Whether `producer` has been quarantined.
+    pub fn is_quarantined(&self, producer: usize) -> bool {
+        self.quarantined.load(Ordering::Acquire) & quarantine_bit(producer) != 0
+    }
+
+    /// Locks a stripe, treating a stripe poisoned by a crashed worker as
+    /// unavailable (`None`). Sharing is an optimization: a poisoned
+    /// stripe may hold a half-inserted entry whose dedup key and clause
+    /// disagree, so it is *skipped*, not recovered — the satellite
+    /// hardening over the old silent `PoisonError::into_inner`.
+    fn lock_stripe(&self, index: usize) -> Option<MutexGuard<'_, Stripe>> {
         let stripe = self
             .stripes
             .get(index)
             .unwrap_or_else(|| unreachable!("stripe index {index} routed out of range"));
-        // A worker panicking mid-export leaves at worst a half-useful pool;
-        // sharing is an optimization, so recover rather than poison-cascade.
-        stripe
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        stripe.lock().ok()
     }
 
     /// Offers a clause to the pool. Returns `true` if it was accepted
-    /// (not a duplicate, stripe not full).
+    /// (producer healthy, not a duplicate, stripe not full or poisoned).
     pub fn export(&self, producer: usize, lits: &[Lit], glue: u32) -> bool {
+        if self.is_quarantined(producer) {
+            self.dropped_quar.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+            return false;
+        }
         let key = clause_key(lits);
         let stripe_index = route(&key, self.stripes.len());
-        let mut stripe = self.lock_stripe(stripe_index);
+        let Some(mut stripe) = self.lock_stripe(stripe_index) else {
+            self.dropped_poison.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+            return false;
+        };
         if stripe.keys.contains(&key) {
             self.dropped_dup.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
             return false;
@@ -264,20 +308,36 @@ impl SharedClausePool {
         each: &mut dyn FnMut(&[Lit], u32),
     ) -> u64 {
         let mut delivered = 0u64;
+        let quarantined = self.quarantined.load(Ordering::Acquire);
         for (index, cursor) in cursors.iter_mut().enumerate() {
-            let stripe = self.lock_stripe(index);
+            let Some(stripe) = self.lock_stripe(index) else {
+                // Poisoned stripe: withhold it entirely. The cursor is not
+                // advanced — the stripe stays poisoned for the rest of the
+                // race anyway.
+                self.dropped_poison.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+                continue;
+            };
             // Snapshot the new tail under the lock; the callback runs after
             // release so one slow importer never blocks exporters.
+            let mut withheld = 0u64;
             let fresh: Vec<(Arc<[Lit]>, u32)> = stripe
                 .entries
                 .get(*cursor..)
                 .unwrap_or_default()
                 .iter()
                 .filter(|e| e.producer != consumer)
+                .filter(|e| {
+                    let healthy = quarantined & quarantine_bit(e.producer) == 0;
+                    withheld += u64::from(!healthy);
+                    healthy
+                })
                 .map(|e| (Arc::clone(&e.lits), e.glue))
                 .collect();
             *cursor = stripe.entries.len();
             drop(stripe);
+            if withheld > 0 {
+                self.dropped_quar.fetch_add(withheld, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+            }
             for (lits, glue) in fresh {
                 each(&lits, glue);
                 delivered += 1;
@@ -286,6 +346,11 @@ impl SharedClausePool {
         self.imported.fetch_add(delivered, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
         delivered
     }
+}
+
+/// The quarantine-mask bit for a producer (workers ≥ 63 share bit 63).
+fn quarantine_bit(producer: usize) -> u64 {
+    1u64 << producer.min(63)
 }
 
 /// Sorted literal codes: the canonical dedup key of a clause.
@@ -317,6 +382,8 @@ struct WorkerExchange {
     proof: Option<Arc<Mutex<ProofLogger>>>,
     exported: u64,
     imported: u64,
+    /// Clauses learned by this worker so far (fault-point counter).
+    learned: u64,
 }
 
 impl WorkerExchange {
@@ -337,27 +404,42 @@ impl WorkerExchange {
             proof,
             exported: 0,
             imported: 0,
+            learned: 0,
         }
     }
 }
 
 impl ClauseExchange for WorkerExchange {
     fn on_learn(&mut self, lits: &[Lit], glue: u32) {
+        self.learned += 1;
+        // Fault point: a worker panic mid-learn, possibly while other
+        // workers hold stripe locks on the pool this worker shares.
+        crate::resilience::inject_worker_panic(self.worker, self.learned);
         // Proof first, pool second: the pool insert synchronizes with the
         // consumer's stripe lock, so any clause visible to an importer is
         // already in the log — the ordering the RUP argument relies on.
+        // The proof mutex is recovered (not skipped) on poisoning: the
+        // logger's append is a single Vec push, so a poisoned guard means
+        // at worst a complete, valid entry from the panicking worker, and
+        // the log's validity is independently established by RUP replay.
         if let Some(proof) = &self.proof {
             proof
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .add(lits);
         }
-        if glue <= self.export_glue
-            && !lits.is_empty()
-            && lits.len() <= self.export_max_len
-            && self.pool.export(self.worker, lits, glue)
-        {
-            self.exported += 1;
+        if glue <= self.export_glue && !lits.is_empty() && lits.len() <= self.export_max_len {
+            // Fault point: corruption in the sharing channel. The proof
+            // logged the clause as learned; the pool sees the corrupted
+            // copy, exactly the hazard end-of-race verification guards.
+            let exported =
+                match crate::resilience::inject_pool_corruption(self.worker, self.exported, lits) {
+                    Some(corrupted) => self.pool.export(self.worker, &corrupted, glue),
+                    None => self.pool.export(self.worker, lits, glue),
+                };
+            if exported {
+                self.exported += 1;
+            }
         }
     }
 
@@ -379,8 +461,12 @@ pub struct WorkerReport {
     pub policy: String,
     /// The worker's seed.
     pub seed: u64,
-    /// The worker's own verdict (`"SAT"`, `"UNSAT"`, `"UNKNOWN"`).
+    /// The worker's own verdict (`"SAT"`, `"UNSAT"`, `"UNKNOWN"`, or
+    /// `"CRASHED"` for a worker that panicked).
     pub verdict: String,
+    /// Whether the worker panicked (its exports were quarantined and the
+    /// race degraded to the survivors).
+    pub crashed: bool,
     /// Final solver statistics.
     pub stats: SolverStats,
     /// Clauses this worker published to the pool.
@@ -402,6 +488,8 @@ pub struct PortfolioResult {
     pub winner: Option<usize>,
     /// One report per worker, in worker order.
     pub workers: Vec<WorkerReport>,
+    /// Indices of workers that crashed (panicked) during the race.
+    pub crashed: Vec<usize>,
     /// Shared-pool counters.
     pub pool: PoolStats,
     /// The shared DRAT log when [`PortfolioConfig::proof`] was set; ends
@@ -463,11 +551,48 @@ fn default_mix(base: PolicyKind) -> Vec<PolicyKind> {
     vec![base, rival]
 }
 
-struct WorkerOutcome {
+/// What came back from one worker thread: a finished solve, or a caught
+/// panic (recorded, quarantined, and degraded around — never propagated
+/// unless *every* worker crashed).
+enum WorkerOutcome {
+    // Boxed: the report (stats + telemetry record) dwarfs a WorkerCrash.
+    Finished(Box<FinishedWorker>),
+    Crashed(crate::resilience::WorkerCrash),
+}
+
+struct FinishedWorker {
     result: SolveResult,
     report: WorkerReport,
     /// Single-worker mode records its proof locally (no shared log).
     local_proof: Option<ProofLogger>,
+}
+
+/// The stand-in for a crashed worker: verdict `"CRASHED"`, zeroed stats,
+/// and a telemetry record carrying the panic as a degradation event.
+fn crashed_report(
+    worker: usize,
+    base: &SolverConfig,
+    mix: &[PolicyKind],
+    instance_id: &str,
+    crash: &crate::resilience::WorkerCrash,
+) -> WorkerReport {
+    let cfg = worker_config(base, worker, mix);
+    let policy = cfg.policy.to_string();
+    let mut record = RunRecord::new(format!("{instance_id}-w{worker}"), policy.clone());
+    record.result = "CRASHED".to_string();
+    record.degrade("worker-crash", crash.message.clone());
+    record.extra.set("worker", Json::from(worker));
+    WorkerReport {
+        worker,
+        policy,
+        seed: cfg.seed,
+        verdict: "CRASHED".to_string(),
+        crashed: true,
+        stats: SolverStats::default(),
+        exported: 0,
+        imported: 0,
+        record: Some(record),
+    }
 }
 
 /// Races `config.workers` diversified solvers over `formula` and returns
@@ -478,9 +603,18 @@ struct WorkerOutcome {
 /// sequential solver under `config.base` (guarded by the determinism
 /// regression test).
 ///
+/// # Crash isolation
+///
+/// Worker threads run under [`run_isolated`](crate::run_isolated): a
+/// panicking worker is reported as `verdict: "CRASHED"` (with the panic
+/// message as a `worker-crash` degradation event in its telemetry
+/// record), its pool exports are quarantined, and the race degrades to
+/// the survivors.
+///
 /// # Panics
 ///
-/// Panics if `config.workers == 0`, or propagates a worker thread's panic.
+/// Panics if `config.workers == 0`, or re-raises the first worker panic
+/// when **every** worker crashed (there is no survivor to degrade to).
 ///
 /// # Examples
 ///
@@ -515,33 +649,46 @@ pub fn solve_portfolio(
     // usize::MAX = unclaimed; the first decisive worker CASes its index in.
     let winner = AtomicUsize::new(usize::MAX);
 
-    let mut outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+    let raw_outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let cfg = worker_config(&config.base, i, &mix);
                 let stop = Arc::clone(&stop);
                 let pool = Arc::clone(&pool);
+                let quarantine_pool = Arc::clone(&pool);
                 let shared_proof = shared_proof.clone();
                 let winner = &winner;
                 let configure = config.configure.clone();
                 let instance_id = &config.instance_id;
                 scope.spawn(move || {
-                    run_worker(WorkerContext {
-                        formula,
-                        cfg,
-                        worker: i,
-                        workers: n,
-                        budget: config.budget,
-                        want_proof: config.proof,
-                        export_glue: config.export_glue,
-                        export_max_len: config.export_max_len,
-                        instance_id,
-                        stop,
-                        pool,
-                        shared_proof,
-                        winner,
-                        configure,
-                    })
+                    let isolated = crate::resilience::run_isolated(move || {
+                        run_worker(WorkerContext {
+                            formula,
+                            cfg,
+                            worker: i,
+                            workers: n,
+                            budget: config.budget,
+                            want_proof: config.proof,
+                            export_glue: config.export_glue,
+                            export_max_len: config.export_max_len,
+                            instance_id,
+                            stop,
+                            pool,
+                            shared_proof,
+                            winner,
+                            configure,
+                        })
+                    });
+                    match isolated {
+                        Ok(finished) => WorkerOutcome::Finished(Box::new(finished)),
+                        Err(crash) => {
+                            // Quarantine before this thread is joined: by
+                            // the time the crash is observable, nothing
+                            // the worker published is trusted anymore.
+                            quarantine_pool.quarantine(i);
+                            WorkerOutcome::Crashed(crash)
+                        }
+                    }
                 })
             })
             .collect();
@@ -549,10 +696,44 @@ pub fn solve_portfolio(
             .into_iter()
             .map(|h| match h.join() {
                 Ok(outcome) => outcome,
-                Err(panic) => std::panic::resume_unwind(panic),
+                // A panic that escaped the isolation wrapper itself (not a
+                // worker panic — those are caught inside the thread).
+                Err(panic) => {
+                    WorkerOutcome::Crashed(crate::resilience::WorkerCrash::from_payload(panic))
+                }
             })
             .collect()
     });
+
+    // Degrade around crashed workers; only all-workers-dead propagates.
+    if raw_outcomes
+        .iter()
+        .all(|o| matches!(o, WorkerOutcome::Crashed(_)))
+    {
+        if let Some(WorkerOutcome::Crashed(crash)) = raw_outcomes
+            .into_iter()
+            .find(|o| matches!(o, WorkerOutcome::Crashed(_)))
+        {
+            crate::resilience::propagate(crash);
+        }
+        unreachable!("workers >= 1, so an all-crashed race has a first crash");
+    }
+    let mut crashed: Vec<usize> = Vec::new();
+    let mut outcomes: Vec<FinishedWorker> = raw_outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, outcome)| match outcome {
+            WorkerOutcome::Finished(finished) => *finished,
+            WorkerOutcome::Crashed(crash) => {
+                crashed.push(i);
+                FinishedWorker {
+                    result: SolveResult::Unknown,
+                    report: crashed_report(i, &config.base, &mix, &config.instance_id, &crash),
+                    local_proof: None,
+                }
+            }
+        })
+        .collect();
 
     let winner_index = match winner.load(Ordering::Acquire) {
         usize::MAX => None,
@@ -567,7 +748,10 @@ pub fn solve_portfolio(
     };
 
     // Assemble the proof: single-worker mode recorded it locally; shared
-    // mode closes the global log with the empty clause on UNSAT.
+    // mode closes the global log with the empty clause on UNSAT. The
+    // shared-log mutex is recovered (not discarded) on poisoning — its
+    // appends are atomic pushes, and RUP replay independently validates
+    // whatever the crashed worker managed to log.
     let mut proof = match shared_proof {
         Some(arc) => Arc::try_unwrap(arc).ok().map(|m| {
             m.into_inner()
@@ -600,6 +784,7 @@ pub fn solve_portfolio(
         result,
         winner: winner_index,
         workers: outcomes.into_iter().map(|o| o.report).collect(),
+        crashed,
         pool: pool.stats(),
         proof,
     })
@@ -622,7 +807,7 @@ struct WorkerContext<'a> {
     configure: Option<ConfigureHook>,
 }
 
-fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutcome {
+fn run_worker(ctx: WorkerContext<'_>) -> FinishedWorker {
     let policy = ctx.cfg.policy.to_string();
     let seed = ctx.cfg.seed;
     let mut solver = Solver::new(ctx.formula, ctx.cfg);
@@ -678,14 +863,25 @@ fn run_worker(ctx: WorkerContext<'_>) -> WorkerOutcome {
         r.extra.set("seed", Json::from(seed));
         r.extra.set("pool_exported", Json::from(exported));
         r.extra.set("pool_imported", Json::from(imported));
+        // An Unknown verdict is a degraded outcome; record why (budget
+        // exhaustion vs. losing the race) rather than leaving consumers
+        // to guess. External stops are how losers normally end, so only
+        // genuine budget exhaustion is tagged as a degradation.
+        if let Some(cause) = solver.stop_cause() {
+            r.extra.set("stop_cause", Json::from(cause.as_str()));
+            if cause != crate::StopCause::External {
+                r.degrade("budget-exhausted", cause.as_str());
+            }
+        }
     }
-    WorkerOutcome {
+    FinishedWorker {
         result,
         report: WorkerReport {
             worker: ctx.worker,
             policy,
             seed,
             verdict: verdict.to_string(),
+            crashed: false,
             stats: *solver.stats(),
             exported,
             imported,
@@ -743,6 +939,87 @@ mod tests {
         assert!(pool.export(0, &a, 2));
         assert!(!pool.export(0, &b, 2));
         assert_eq!(pool.stats().dropped_capacity, 1);
+    }
+
+    #[test]
+    fn poisoned_stripe_is_skipped_not_recovered() {
+        let pool = SharedClausePool::new(1, 8);
+        let a: Vec<Lit> = [1, 2].iter().map(|&d| Lit::from_dimacs(d)).collect();
+        let b: Vec<Lit> = [3, 4].iter().map(|&d| Lit::from_dimacs(d)).collect();
+        assert!(pool.export(0, &a, 2));
+        // Poison the only stripe the way a crashed worker would: panic
+        // while holding its lock.
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.stripes.first().expect("one stripe").lock().unwrap();
+            panic!("injected stripe poisoning");
+        }));
+        assert!(poisoner.is_err());
+        // Exports to the poisoned stripe are dropped, not recovered.
+        assert!(!pool.export(1, &b, 2));
+        assert_eq!(pool.stats().dropped_poisoned, 1);
+        // Importers skip the stripe entirely — even entries that predate
+        // the poisoning are withheld.
+        let mut cursors = vec![0; pool.num_stripes()];
+        let mut seen = 0;
+        pool.import_new(1, &mut cursors, &mut |_, _| seen += 1);
+        assert_eq!(seen, 0, "poisoned stripe must not deliver");
+        assert_eq!(pool.stats().imported, 0);
+        assert!(pool.stats().dropped_poisoned >= 2);
+    }
+
+    #[test]
+    fn quarantined_producer_is_withheld_and_rejected() {
+        let pool = SharedClausePool::new(1, 8);
+        let a: Vec<Lit> = [1, 2].iter().map(|&d| Lit::from_dimacs(d)).collect();
+        let b: Vec<Lit> = [3, 4].iter().map(|&d| Lit::from_dimacs(d)).collect();
+        let c: Vec<Lit> = [5, 6].iter().map(|&d| Lit::from_dimacs(d)).collect();
+        assert!(pool.export(0, &a, 2));
+        assert!(pool.export(1, &b, 2));
+        pool.quarantine(0);
+        assert!(pool.is_quarantined(0) && !pool.is_quarantined(1));
+        // New exports from the quarantined producer are rejected…
+        assert!(!pool.export(0, &c, 2));
+        // …and its earlier entries are withheld from importers.
+        let mut cursors = vec![0; pool.num_stripes()];
+        let mut seen = Vec::new();
+        pool.import_new(2, &mut cursors, &mut |lits, _| seen.push(lits.to_vec()));
+        assert_eq!(seen, vec![b], "only the healthy producer's clause flows");
+        assert_eq!(pool.stats().dropped_quarantined, 2);
+    }
+
+    #[test]
+    fn one_crashed_worker_degrades_to_survivors() {
+        use std::sync::atomic::AtomicUsize;
+        let sat = cnf_of(&[&[1, 2], &[-2, 3]]);
+        let mut cfg = PortfolioConfig::new(3);
+        cfg.proof = true;
+        let crashes = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&crashes);
+        cfg.configure = Some(Arc::new(move |_s| {
+            if counter.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected configure crash");
+            }
+        }));
+        let r = solve_portfolio(&sat, &cfg).expect("survivors win");
+        assert!(r.result.is_sat());
+        assert_eq!(r.crashed.len(), 1);
+        let crashed = *r.crashed.first().expect("one crash");
+        let report = r.workers.get(crashed).expect("report exists");
+        assert!(report.crashed);
+        assert_eq!(report.verdict, "CRASHED");
+        let record = report.record.as_ref().expect("crash record");
+        assert_eq!(record.degradations.len(), 1);
+        assert_eq!(record.degradations[0].kind, "worker-crash");
+        assert_ne!(r.winner, Some(crashed), "a survivor must win");
+    }
+
+    #[test]
+    #[should_panic(expected = "every worker crashed")]
+    fn all_crashed_race_propagates_the_panic() {
+        let sat = cnf_of(&[&[1, 2]]);
+        let mut cfg = PortfolioConfig::new(2);
+        cfg.configure = Some(Arc::new(|_s| panic!("every worker crashed")));
+        let _ = solve_portfolio(&sat, &cfg);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::varmap::{at, LitMap, VarMap};
 use crate::vmtf::VmtfQueue;
 use crate::{
     Budget, ClauseScoreCtx, DeletionPolicy, FrequencyTable, LBool, PolicyKind, RestartScheduler,
-    SolveResult, SolverConfig, SolverStats,
+    SolveResult, SolverConfig, SolverStats, StopCause,
 };
 use cnf::{Cnf, Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -114,6 +114,11 @@ pub struct Solver {
     /// Cooperative cancellation: when set and raised, the search returns
     /// [`SolveResult::Unknown`] at the next conflict or decision boundary.
     stop: Option<Arc<AtomicBool>>,
+    /// Why the most recent `solve` call returned `Unknown`, if it did.
+    stop_cause: Option<StopCause>,
+    /// Shared clauses dropped by `import_clause` because they mentioned
+    /// variables this solver does not know (a corrupt producer).
+    rejected_imports: u64,
     /// Clause-sharing channel for portfolio solving; `None` (the default)
     /// costs one branch per learned clause and per restart.
     exchange: Option<Box<dyn ClauseExchange>>,
@@ -161,6 +166,8 @@ impl Solver {
             observer: None,
             telemetry: None,
             stop: None,
+            stop_cause: None,
+            rejected_imports: 0,
             exchange: None,
             #[cfg(feature = "checks")]
             check_level: crate::check::CheckLevel::default(),
@@ -217,6 +224,69 @@ impl Solver {
         self.stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Acquire))
+    }
+
+    /// Full budget check, run at every conflict boundary.
+    #[inline]
+    fn check_budget(&self, budget: &Budget) -> Option<StopCause> {
+        if self.should_stop() {
+            return Some(StopCause::External);
+        }
+        budget.check(self.stats.conflicts, self.stats.propagations, || {
+            self.approx_memory_bytes()
+        })
+    }
+
+    /// Stop-flag, deadline, and memory check, run at every decision
+    /// boundary. Counter limits are deliberately *not* consulted here so
+    /// counter-budgeted runs stop at exactly the same conflict as they
+    /// did before wall-clock budgets existed (budgeted stats stay
+    /// bit-reproducible); the wall-clock and memory limits need the extra
+    /// check sites to be honored within their accuracy target even on
+    /// propagation-heavy stretches between conflicts.
+    #[inline]
+    fn check_wall_limits(&self, budget: &Budget) -> Option<StopCause> {
+        if self.should_stop() {
+            return Some(StopCause::External);
+        }
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopCause::Deadline);
+        }
+        if budget
+            .max_memory_bytes
+            .is_some_and(|m| self.approx_memory_bytes() > m)
+        {
+            return Some(StopCause::Memory);
+        }
+        None
+    }
+
+    /// Why the most recent `solve` call returned
+    /// [`SolveResult::Unknown`], or `None` if it returned a verdict (or
+    /// no solve has run yet).
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        self.stop_cause
+    }
+
+    /// Shared clauses dropped because they mentioned variables this
+    /// solver does not know (evidence of a corrupt producer).
+    pub fn rejected_imports(&self) -> u64 {
+        self.rejected_imports
+    }
+
+    /// Approximate heap footprint of the solver in bytes: the clause
+    /// database plus per-variable state and watch lists. O(1), computed
+    /// from maintained counters; used by [`Budget::max_memory_bytes`].
+    pub fn approx_memory_bytes(&self) -> u64 {
+        // Per-variable state: assigns + level + reason + activity + phase
+        // + seen + heap slot + VMTF node + two frequency counters, plus
+        // two watch-list headers per variable. ~128 bytes covers it.
+        const PER_VAR: u64 = 128;
+        // Each live clause holds two watches (cref + blocker).
+        let live_clauses = (self.db.num_original() + self.db.num_learned()) as u64;
+        let watches = live_clauses * 2 * std::mem::size_of::<Watch>() as u64;
+        let trail = (self.trail.capacity() * std::mem::size_of::<Lit>()) as u64;
+        self.db.memory_bytes() + u64::from(self.num_vars) * PER_VAR + watches + trail
     }
 
     /// Installs a [`SearchObserver`] that receives conflict, restart, and
@@ -394,7 +464,10 @@ impl Solver {
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
             if l.var().index() >= self.num_vars {
-                debug_assert!(false, "imported clause mentions unknown variable {l}");
+                // A producer exported garbage (corrupt or foreign clause).
+                // Soundness only depends on what we *add*, so the clause is
+                // dropped and counted rather than trusted or asserted on.
+                self.rejected_imports += 1;
                 return;
             }
             match self.value(l) {
@@ -962,6 +1035,7 @@ impl Solver {
     /// the solver maintains anyway, so installing one never changes the
     /// search (see the invariance test in `tests/telemetry.rs`).
     fn search(&mut self, budget: Budget) -> SolveResult {
+        self.stop_cause = None;
         if self.telemetry.is_some() {
             let policy = self.policy.name();
             let num_vars = u64::from(self.num_vars);
@@ -1070,9 +1144,8 @@ impl Solver {
                         t.add_phase(Phase::Restart, start.elapsed());
                     }
                 }
-                if self.should_stop()
-                    || budget.exhausted(self.stats.conflicts, self.stats.propagations)
-                {
+                if let Some(cause) = self.check_budget(&budget) {
+                    self.stop_cause = Some(cause);
                     return SolveResult::Unknown;
                 }
             } else {
@@ -1086,7 +1159,8 @@ impl Solver {
                     }
                     AssumptionStep::Done => {}
                 }
-                if self.should_stop() {
+                if let Some(cause) = self.check_wall_limits(&budget) {
+                    self.stop_cause = Some(cause);
                     return SolveResult::Unknown;
                 }
                 let reducible = self

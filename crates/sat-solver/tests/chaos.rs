@@ -1,0 +1,331 @@
+//! Chaos suite: deterministic fault injection against the solver and the
+//! portfolio (`--features faults`).
+//!
+//! Every scenario asserts the fault-tolerance contract, not a specific
+//! recovery path:
+//!
+//! * **never a wrong verdict** — under any single injected fault the
+//!   solver returns the reference verdict, `Unknown`, or an `Err`; a
+//!   SAT model is always verified and an UNSAT proof always replayed
+//!   before being reported;
+//! * **never a hang** — wall-clock budgets are honored within a small
+//!   bound even while faults fire;
+//! * **never a process crash** — worker panics degrade the race, I/O
+//!   faults become diagnostics and exit code 1 (checked through the real
+//!   `rsat` binary).
+//!
+//! Faults are armed through [`faults::install`], whose scope guard also
+//! serializes chaos tests against each other (the plan is global state).
+
+#![cfg(feature = "faults")]
+
+use cnf::Cnf;
+use sat_solver::{
+    solve_portfolio, Budget, PortfolioConfig, SolveResult, Solver, SolverConfig, StopCause,
+};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Deterministic xorshift64* stream for reproducible random formulas.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// A random 3-SAT formula; `ratio ~ clauses/vars` near 4.26 makes the
+/// instance conflict-heavy so budget checks and fault points are reached.
+fn random_3sat(vars: u32, clauses: usize, seed: u64) -> Cnf {
+    let mut rng = XorShift(seed | 1);
+    let mut f = Cnf::new(vars);
+    for _ in 0..clauses {
+        let mut c = [0i32; 3];
+        for slot in &mut c {
+            let v = (rng.next() % u64::from(vars)) as i32 + 1;
+            *slot = if rng.next().is_multiple_of(2) { v } else { -v };
+        }
+        f.add_dimacs(&c);
+    }
+    f
+}
+
+/// Ground truth from a fault-free sequential solve.
+fn reference_verdict(f: &Cnf) -> SolveResult {
+    Solver::new(f, SolverConfig::default()).solve_with_budget(Budget::unlimited())
+}
+
+/// The chaos contract on verdicts: correct or `Unknown`, never wrong.
+fn assert_compatible(expected: &SolveResult, got: &SolveResult, ctx: &str) {
+    match got {
+        SolveResult::Unknown => {}
+        SolveResult::Sat(_) => assert!(expected.is_sat(), "{ctx}: SAT but reference is UNSAT"),
+        SolveResult::Unsat => assert!(expected.is_unsat(), "{ctx}: UNSAT but reference is SAT"),
+    }
+}
+
+#[test]
+fn worker_panic_race_degrades_to_a_surviving_winner() {
+    for seed in [1u64, 2, 3] {
+        let f = random_3sat(40, 170, seed);
+        let expected = reference_verdict(&f);
+        let scope = faults::install("worker-panic(worker=1,at=1)".parse().expect("plan"));
+        let mut cfg = PortfolioConfig::new(4);
+        cfg.proof = true;
+        let out = solve_portfolio(&f, &cfg).expect("degraded race still verifies");
+        assert_compatible(&expected, &out.result, "worker-panic");
+        if scope.fired(faults::site::WORKER_PANIC) > 0 {
+            assert_eq!(out.crashed, vec![1], "seed {seed}: worker 1 must crash");
+            assert_ne!(out.winner, Some(1), "seed {seed}: a survivor must win");
+            let report = out.workers.get(1).expect("crashed worker report");
+            assert_eq!(report.verdict, "CRASHED");
+        }
+        assert!(
+            !out.result.is_unknown(),
+            "seed {seed}: three healthy workers must still solve this"
+        );
+    }
+}
+
+#[test]
+fn corrupted_pool_clause_never_flips_the_verdict() {
+    // `flip` mode exports a semantically wrong clause: importers may then
+    // derive garbage, but verification (model check / proof replay) must
+    // turn that into the correct verdict, Unknown, or an Err — never a
+    // wrong answer.
+    for seed in [1u64, 2, 3] {
+        let f = random_3sat(40, 170, seed);
+        let expected = reference_verdict(&f);
+        let _scope = faults::install("pool-corrupt(worker=0,at=1,times=4)".parse().expect("plan"));
+        let mut cfg = PortfolioConfig::new(3);
+        cfg.proof = true;
+        match solve_portfolio(&f, &cfg) {
+            Ok(out) => assert_compatible(&expected, &out.result, "pool-corrupt flip"),
+            // Detected corruption (failed model check or proof replay) is
+            // an acceptable — and honest — outcome.
+            Err(e) => eprintln!("seed {seed}: corruption detected: {e}"),
+        }
+    }
+}
+
+#[test]
+fn alien_pool_clause_is_rejected_gracefully() {
+    // `alien` mode exports a clause over a variable no worker knows;
+    // importers must skip it (graceful rejection), not panic.
+    for seed in [1u64, 2, 3] {
+        let f = random_3sat(40, 170, seed);
+        let expected = reference_verdict(&f);
+        let _scope = faults::install(
+            "pool-corrupt(worker=0,at=1,times=4,mode=alien)"
+                .parse()
+                .expect("plan"),
+        );
+        let mut cfg = PortfolioConfig::new(3);
+        cfg.proof = true;
+        match solve_portfolio(&f, &cfg) {
+            Ok(out) => assert_compatible(&expected, &out.result, "pool-corrupt alien"),
+            Err(e) => eprintln!("seed {seed}: alien clause tripped verification: {e}"),
+        }
+    }
+}
+
+#[test]
+fn wall_clock_deadline_is_honored_sequentially() {
+    let f = random_3sat(150, 640, 7);
+    let deadline = Duration::from_millis(250);
+    let mut solver = Solver::new(&f, SolverConfig::default());
+    let start = Instant::now();
+    let result = solver.solve_with_budget(Budget::wall_clock(deadline));
+    let elapsed = start.elapsed();
+    if result.is_unknown() {
+        assert_eq!(solver.stop_cause(), Some(StopCause::Deadline));
+        // The acceptance bound: cooperative checks at conflict and
+        // decision boundaries keep the overshoot well under 100ms.
+        assert!(
+            elapsed < deadline + Duration::from_millis(100),
+            "deadline overshoot: {elapsed:?}"
+        );
+        // Stats survive exhaustion intact.
+        assert!(solver.stats().decisions > 0);
+    } else {
+        // Legitimately solved before the deadline — fine, but it must
+        // not have taken longer than the budget allowed.
+        assert!(elapsed < deadline + Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn wall_clock_deadline_is_honored_per_portfolio_worker() {
+    let f = random_3sat(150, 640, 11);
+    let deadline = Duration::from_millis(250);
+    let mut cfg = PortfolioConfig::new(4);
+    cfg.budget = Budget::wall_clock(deadline);
+    let start = Instant::now();
+    let out = solve_portfolio(&f, &cfg).expect("exhausted race is not an error");
+    let elapsed = start.elapsed();
+    // Workers run sequentially-interleaved on few cores, but each checks
+    // the shared deadline cooperatively; 2x is the never-hang bound.
+    assert!(
+        elapsed < 2 * deadline + Duration::from_millis(500),
+        "{elapsed:?}"
+    );
+    if out.result.is_unknown() {
+        assert!(out.winner.is_none());
+        for w in &out.workers {
+            let record = w.record.as_ref().expect("worker record");
+            assert!(
+                record
+                    .degradations
+                    .iter()
+                    .any(|d| d.kind == "budget-exhausted" && d.detail == "deadline"),
+                "worker {} record must carry the deadline degradation",
+                w.worker
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_ceiling_yields_unknown_with_intact_stats() {
+    let f = random_3sat(120, 511, 5);
+    // A ceiling just above the pre-search footprint lets the search run
+    // until learned clauses push past it, so exhaustion happens with
+    // real statistics on the books.
+    let baseline = Solver::new(&f, SolverConfig::default()).approx_memory_bytes();
+    let mut solver = Solver::new(&f, SolverConfig::default());
+    let result = solver.solve_with_budget(Budget::memory_bytes(baseline + 512));
+    assert!(result.is_unknown(), "tight ceiling must stop the search");
+    assert_eq!(solver.stop_cause(), Some(StopCause::Memory));
+    assert!(solver.approx_memory_bytes() > baseline);
+    assert!(solver.stats().conflicts > 0, "stats survive exhaustion");
+}
+
+// ---------------------------------------------------------------------
+// CLI-level faults, exercised through the real `rsat` binary (built with
+// the same `faults` feature as this test).
+
+fn rsat() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_rsat"));
+    // Never inherit a plan from the test environment by accident.
+    cmd.env_remove(faults::ENV_VAR);
+    cmd
+}
+
+fn write_cnf(name: &str, f: &Cnf) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rsat-chaos-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, cnf::to_dimacs_string(f)).expect("write cnf");
+    path
+}
+
+#[test]
+fn rsat_reports_injected_dimacs_read_fault_and_exits_one() {
+    let path = write_cnf("dimacs-io.cnf", &random_3sat(30, 128, 3));
+    for (via_env, seed) in [(false, 1u64), (true, 2), (false, 3)] {
+        let mut cmd = rsat();
+        cmd.arg(&path);
+        if via_env {
+            cmd.env(faults::ENV_VAR, "dimacs-io(after=8)");
+        } else {
+            cmd.arg("--fault-plan=dimacs-io(after=8)");
+        }
+        let out = cmd.output().expect("spawn rsat");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "seed {seed}: {stderr}");
+        assert!(stderr.contains("rsat:"), "diagnostic expected: {stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "must be a diagnostic, not a panic: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn rsat_reports_truncated_proof_write_and_exits_one() {
+    // Mid-write failure on the DRAT stream must be an explicit error —
+    // a silently short proof would defeat downstream checking.
+    let unsat = {
+        let mut f = Cnf::new(3);
+        for c in [[1, 2], [1, -2], [-1, 3], [-1, -3]] {
+            f.add_dimacs(&c);
+        }
+        f.add_dimacs(&[2, -3]);
+        f.add_dimacs(&[-2, 3]);
+        f
+    };
+    assert!(reference_verdict(&unsat).is_unsat());
+    let path = write_cnf("drat-truncate.cnf", &unsat);
+    let proof = std::env::temp_dir().join("rsat-chaos-tests/truncated.drat");
+    let out = rsat()
+        .arg(&path)
+        .arg("--proof")
+        .arg(&proof)
+        .arg("--fault-plan=drat-truncate(after=4)")
+        .output()
+        .expect("spawn rsat");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("failed to write proof"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn rsat_timeout_flag_yields_unknown_within_bound() {
+    let path = write_cnf("timeout.cnf", &random_3sat(150, 640, 13));
+    let start = Instant::now();
+    let out = rsat()
+        .arg(&path)
+        .arg("--timeout")
+        .arg("0.25")
+        .output()
+        .expect("spawn rsat");
+    let elapsed = start.elapsed();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "never hang past the deadline: {elapsed:?}"
+    );
+    if stdout.contains("s UNKNOWN") {
+        assert_eq!(out.status.code(), Some(0), "{stdout}");
+        assert!(stdout.contains("c stop: deadline"), "{stdout}");
+    } else {
+        // Solved inside the budget; statistics must still be present.
+        assert!(stdout.contains("c decisions"), "{stdout}");
+    }
+}
+
+#[test]
+fn rsat_mem_limit_flag_yields_unknown_with_stop_cause() {
+    let path = write_cnf("mem-limit.cnf", &random_3sat(50, 215, 17));
+    let out = rsat()
+        .arg(&path)
+        .arg("--mem-limit")
+        .arg("0")
+        .output()
+        .expect("spawn rsat");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("s UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("c stop: memory"), "{stdout}");
+}
+
+#[test]
+fn rsat_rejects_malformed_fault_plan_politely() {
+    let path = write_cnf("bad-plan.cnf", &random_3sat(10, 42, 23));
+    let out = rsat()
+        .arg(&path)
+        .arg("--fault-plan=???(")
+        .output()
+        .expect("spawn rsat");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("rsat:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

@@ -61,12 +61,16 @@ mod sink;
 
 pub use histogram::Histogram;
 pub use phase::{Phase, PhaseGuard, PhaseTimes};
-pub use record::RunRecord;
+pub use record::{Degradation, RunRecord};
 pub use registry::Registry;
 pub use sink::{Event, JsonlSink, MemorySink, NullSink, Sink};
 
 /// Version of the JSONL event schema emitted by [`JsonlSink`].
 ///
 /// Bumped on any breaking change (field rename/removal or semantic
-/// change); purely additive fields do not bump it.
-pub const SCHEMA_VERSION: u32 = 1;
+/// change); purely additive fields do not bump it. Version 2 added the
+/// always-present `degradations` array to [`RunRecord`] (bumped, despite
+/// being additive, because degraded-mode accounting changes how consumers
+/// must interpret an `UNKNOWN` result: absence of the field no longer
+/// implies a fully healthy run).
+pub const SCHEMA_VERSION: u32 = 2;

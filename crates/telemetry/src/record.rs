@@ -46,6 +46,58 @@ pub struct RunRecord {
     pub stats: Json,
     /// Producer-defined additional fields (histograms, db snapshots, …).
     pub extra: Json,
+    /// Degraded-mode events observed during the run (worker crash, model
+    /// fallback, budget exhaustion, …), in occurrence order. Empty for a
+    /// fully healthy run.
+    pub degradations: Vec<Degradation>,
+}
+
+/// One degraded-mode event: the system kept going, but not at full
+/// fidelity, and this records why.
+///
+/// `kind` is a stable machine-readable tag (e.g. `"worker-crash"`,
+/// `"model-fallback"`, `"budget-exhausted"`); `detail` is free-form
+/// human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Stable machine-readable tag of the event class.
+    pub kind: String,
+    /// Free-form human-readable context.
+    pub detail: String,
+}
+
+impl Degradation {
+    /// A degradation event of class `kind` with context `detail`.
+    pub fn new(kind: impl Into<String>, detail: impl Into<String>) -> Self {
+        Degradation {
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl ToJson for Degradation {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("kind", Json::from(self.kind.as_str()))
+            .with("detail", Json::from(self.detail.as_str()))
+    }
+}
+
+impl FromJson for Degradation {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let str_field = |key: &str| -> Result<String, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(FromJsonError::field(key))
+        };
+        Ok(Degradation {
+            kind: str_field("kind")?,
+            detail: str_field("detail")?,
+        })
+    }
 }
 
 impl RunRecord {
@@ -62,7 +114,13 @@ impl RunRecord {
             phases: PhaseTimes::default(),
             stats: Json::object(),
             extra: Json::object(),
+            degradations: Vec::new(),
         }
+    }
+
+    /// Appends a degraded-mode event to this record.
+    pub fn degrade(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.degradations.push(Degradation::new(kind, detail));
     }
 }
 
@@ -85,6 +143,10 @@ impl ToJson for RunRecord {
             .with("phases", self.phases.to_json())
             .with("stats", self.stats.clone())
             .with("extra", self.extra.clone())
+            .with(
+                "degradations",
+                Json::Array(self.degradations.iter().map(ToJson::to_json).collect()),
+            )
     }
 }
 
@@ -121,6 +183,15 @@ impl FromJson for RunRecord {
                 .unwrap_or_default(),
             stats: value.get("stats").cloned().unwrap_or(Json::object()),
             extra: value.get("extra").cloned().unwrap_or(Json::object()),
+            degradations: match value.get("degradations") {
+                // Absent in schema-version-1 records: default to none.
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(Degradation::from_json)
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err(FromJsonError::field("degradations")),
+            },
         })
     }
 }

@@ -1,6 +1,6 @@
 //! Golden-file tests pinning the JSONL event schema.
 //!
-//! Every event line carries `schema_version` (currently 1) and an `event`
+//! Every event line carries `schema_version` (currently 2) and an `event`
 //! discriminator; the field names below are a compatibility contract with
 //! external consumers. Changing any rendered string here requires bumping
 //! [`SCHEMA_VERSION`] and updating the stability note in README.md.
@@ -11,7 +11,7 @@ use telemetry::{Event, Phase, RunRecord, SCHEMA_VERSION};
 
 #[test]
 fn schema_version_is_pinned() {
-    assert_eq!(SCHEMA_VERSION, 1);
+    assert_eq!(SCHEMA_VERSION, 2);
 }
 
 #[test]
@@ -24,7 +24,7 @@ fn solve_start_event_golden() {
     };
     assert_eq!(
         event.to_json().to_string(),
-        r#"{"schema_version":1,"event":"solve_start","instance_id":"php-6-5","policy":"prop-freq","num_vars":30,"num_clauses":81}"#
+        r#"{"schema_version":2,"event":"solve_start","instance_id":"php-6-5","policy":"prop-freq","num_vars":30,"num_clauses":81}"#
     );
 }
 
@@ -41,7 +41,7 @@ fn progress_event_golden() {
     };
     assert_eq!(
         event.to_json().to_string(),
-        r#"{"schema_version":1,"event":"progress","conflicts":1000,"propagations":50000,"decisions":1500,"learned":400,"elapsed_s":0.5,"conflicts_per_sec":2000.0,"propagations_per_sec":100000.0}"#
+        r#"{"schema_version":2,"event":"progress","conflicts":1000,"propagations":50000,"decisions":1500,"learned":400,"elapsed_s":0.5,"conflicts_per_sec":2000.0,"propagations_per_sec":100000.0}"#
     );
 }
 
@@ -56,7 +56,7 @@ fn reduction_event_golden() {
     };
     assert_eq!(
         event.to_json().to_string(),
-        r#"{"schema_version":1,"event":"reduction","reduction_no":3,"candidates":120,"deleted":60,"learned_after":80,"conflicts":900}"#
+        r#"{"schema_version":2,"event":"reduction","reduction_no":3,"candidates":120,"deleted":60,"learned_after":80,"conflicts":900}"#
     );
 }
 
@@ -76,16 +76,38 @@ fn solve_end_event_golden() {
     let event = Event::SolveEnd { record };
     assert_eq!(
         event.to_json().to_string(),
-        r#"{"schema_version":1,"event":"solve_end","record":{"schema_version":1,"instance_id":"php-6-5","policy":"default","result":"UNSAT","solve_time_s":0.25,"inference_time_s":0.125,"peak_learned_clauses":42,"phases":{"propagate":{"nanos":1500,"calls":1},"analyze":{"nanos":500,"calls":1}},"stats":{"conflicts":77},"extra":{"note":"golden"}}}"#
+        r#"{"schema_version":2,"event":"solve_end","record":{"schema_version":2,"instance_id":"php-6-5","policy":"default","result":"UNSAT","solve_time_s":0.25,"inference_time_s":0.125,"peak_learned_clauses":42,"phases":{"propagate":{"nanos":1500,"calls":1},"analyze":{"nanos":500,"calls":1}},"stats":{"conflicts":77},"extra":{"note":"golden"},"degradations":[]}}"#
     );
+}
+
+#[test]
+fn degraded_record_golden() {
+    let mut record = RunRecord::new("race-w2", "prop-freq");
+    record.result = "UNKNOWN".to_string();
+    record.degrade("worker-crash", "injected worker panic");
+    record.degrade("budget-exhausted", "deadline");
+    assert_eq!(
+        record.to_json().to_string(),
+        r#"{"schema_version":2,"instance_id":"race-w2","policy":"prop-freq","result":"UNKNOWN","solve_time_s":0.0,"inference_time_s":null,"peak_learned_clauses":0,"phases":{},"stats":{},"extra":{},"degradations":[{"kind":"worker-crash","detail":"injected worker panic"},{"kind":"budget-exhausted","detail":"deadline"}]}"#
+    );
+    let parsed = RunRecord::from_json(&record.to_json()).expect("round-trips");
+    assert_eq!(parsed, record);
+}
+
+#[test]
+fn version_one_record_without_degradations_still_parses() {
+    let line = r#"{"schema_version":1,"instance_id":"old","policy":"default","result":"SAT","solve_time_s":0.5,"inference_time_s":null,"peak_learned_clauses":3,"phases":{},"stats":{},"extra":{}}"#;
+    let parsed = RunRecord::from_json(&Json::parse(line).expect("parses")).expect("compatible");
+    assert!(parsed.degradations.is_empty());
+    assert_eq!(parsed.schema_version, 1);
 }
 
 #[test]
 fn golden_lines_parse_back() {
     for line in [
-        r#"{"schema_version":1,"event":"solve_start","instance_id":"x","policy":"default","num_vars":1,"num_clauses":1}"#,
-        r#"{"schema_version":1,"event":"progress","conflicts":1,"propagations":2,"decisions":3,"learned":4,"elapsed_s":0.5,"conflicts_per_sec":2.0,"propagations_per_sec":4.0}"#,
-        r#"{"schema_version":1,"event":"reduction","reduction_no":1,"candidates":2,"deleted":1,"learned_after":1,"conflicts":5}"#,
+        r#"{"schema_version":2,"event":"solve_start","instance_id":"x","policy":"default","num_vars":1,"num_clauses":1}"#,
+        r#"{"schema_version":2,"event":"progress","conflicts":1,"propagations":2,"decisions":3,"learned":4,"elapsed_s":0.5,"conflicts_per_sec":2.0,"propagations_per_sec":4.0}"#,
+        r#"{"schema_version":2,"event":"reduction","reduction_no":1,"candidates":2,"deleted":1,"learned_after":1,"conflicts":5}"#,
     ] {
         let value = Json::parse(line).expect("golden line parses");
         let event = Event::from_json(&value).expect("golden line is a known event");

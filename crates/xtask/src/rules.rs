@@ -71,6 +71,10 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "while", "loop", "yield",
 ];
 
+/// The one module allowed to re-raise caught panics: it owns the
+/// portfolio's crash-isolation policy (see its module docs).
+const UNWIND_MODULE: &str = "crates/sat-solver/src/resilience.rs";
+
 fn is_hot_path(path: &str) -> bool {
     HOT_PATH_MODULES.contains(&path)
 }
@@ -108,6 +112,9 @@ pub fn lint_file(path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
     }
     if path.contains("/src/") {
         no_float_eq(path, &tokens, &mut found);
+    }
+    if path != UNWIND_MODULE {
+        no_unwind_escape(path, &tokens, &mut found);
     }
     if is_lib_source(path) {
         pub_docs(path, &tokens, &mut found);
@@ -390,6 +397,49 @@ fn no_hash_iter(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                     );
                 }
             }
+        }
+    }
+}
+
+/// `no-unwind-escape`: `resume_unwind` and `process::abort` are confined
+/// to `crates/sat-solver/src/resilience.rs`, the module that owns the
+/// crash-isolation policy. Anywhere else, a re-raised panic tears through
+/// the portfolio's `catch_unwind` boundary with a payload the isolation
+/// layer never rendered, and an abort skips every cleanup and degraded
+/// mode outright. Route crashes through `run_isolated`/`propagate`, or
+/// annotate an individually audited site with
+/// `// xtask: allow(no-unwind-escape) <why>`.
+fn no_unwind_escape(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is_call = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if !next_is_call {
+            continue;
+        }
+        match t.text.as_str() {
+            "resume_unwind" => diag(
+                out,
+                "no-unwind-escape",
+                path,
+                t.line,
+                "`resume_unwind` outside the resilience module; re-raise through \
+                 `sat_solver::resilience::propagate` (or annotate an audited site)",
+            ),
+            "abort"
+                if i >= 2 && tokens[i - 1].is_punct("::") && tokens[i - 2].is_ident("process") =>
+            {
+                diag(
+                    out,
+                    "no-unwind-escape",
+                    path,
+                    t.line,
+                    "`process::abort` outside the resilience module; aborts skip every \
+                     degraded mode — return an error or propagate a panic instead",
+                );
+            }
+            _ => {}
         }
     }
 }
@@ -697,6 +747,23 @@ mod tests {
         // Test modules are stripped before linting.
         let in_tests = "#[cfg(test)]\nmod tests {\n    fn t(s: &std::sync::atomic::AtomicBool) { s.store(true, Ordering::Relaxed); }\n}";
         assert!(run("crates/sat-solver/src/portfolio.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn no_unwind_escape_confines_reraise_to_the_resilience_module() {
+        let src = "fn f(p: Box<dyn std::any::Any + Send>) {\n    std::panic::resume_unwind(p);\n}\nfn g() {\n    std::process::abort();\n}";
+        let d = run("crates/core/src/parallel.rs", src);
+        assert_eq!(rules(&d), vec!["no-unwind-escape", "no-unwind-escape"]);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 5);
+        // The resilience module itself is exempt.
+        assert!(run("crates/sat-solver/src/resilience.rs", src).is_empty());
+        // An audited site can be annotated inline.
+        let allowed = "fn f(p: Box<dyn std::any::Any + Send>) {\n    std::panic::resume_unwind(p); // xtask: allow(no-unwind-escape) audited\n}";
+        assert!(run("crates/core/src/parallel.rs", allowed).is_empty());
+        // `abort` as an ordinary method name is not flagged.
+        let method = "fn f(tx: &Transaction) { tx.abort(); }";
+        assert!(run("crates/core/src/parallel.rs", method).is_empty());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Chaos suite for the NeuroSelect pipeline's degradation ladder
+//! (`--features faults`): model-weight I/O faults, inference panics, and
+//! inference stalls must step the policy pick down the
+//! Model → Heuristic → Default ladder — recorded in telemetry — while
+//! the *solve* still returns a verified-correct verdict. A broken model
+//! may cost policy quality, never correctness.
+
+#![cfg(feature = "faults")]
+
+use neuroselect::{
+    neuro, Budget, NeuroSelectClassifier, NeuroSelectSolver, PolicyKind, PolicySource,
+};
+use std::time::{Duration, Instant};
+
+fn tiny_solver() -> NeuroSelectSolver {
+    NeuroSelectSolver::new(NeuroSelectClassifier::new(
+        neuro::NeuroSelectConfig {
+            hidden_dim: 8,
+            hgt_layers: 1,
+            mpnn_per_hgt: 1,
+            use_attention: true,
+            seed: 3,
+        },
+        0.01,
+    ))
+}
+
+/// A degraded pick must still produce a correct, verified solve.
+fn assert_solves_correctly(s: &NeuroSelectSolver, seed: u64) {
+    let f = neuroselect::sat_gen::phase_transition_3sat(25, seed);
+    let out = s.solve_recorded(&f, Budget::unlimited(), "chaos", None);
+    assert!(
+        !out.result.is_unknown(),
+        "seed {seed}: must reach a verdict"
+    );
+    if let Some(model) = out.result.model() {
+        neuroselect::cnf::verify_model(&f, model).expect("model verifies");
+    }
+}
+
+#[test]
+fn model_io_fault_degrades_load_then_recovery_restores_the_model() {
+    let dir = std::env::temp_dir().join("neuroselect-chaos-pipeline");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("weights.params");
+    let mut s = tiny_solver();
+    let mut buf = Vec::new();
+    neuro::save_params(&mut buf, s.classifier().store()).expect("serialize");
+    std::fs::write(&path, buf).expect("write weights");
+
+    let scope = faults::install("model-io(after=8)".parse().expect("plan"));
+    assert!(
+        s.load_weights(&path).is_err(),
+        "an I/O fault mid-read must surface as a load error"
+    );
+    assert!(scope.fired(faults::site::MODEL_IO) > 0, "fault must fire");
+    let fault = s.model_fault().expect("load failure is sticky");
+    assert_eq!(fault.kind(), "model-load-error");
+
+    // Degraded but alive: every solve under the sticky fault uses the
+    // heuristic rung and still reaches a verified verdict.
+    for seed in [1u64, 2, 3] {
+        let f = neuroselect::sat_gen::phase_transition_3sat(25, seed);
+        let out = s.solve_recorded(&f, Budget::unlimited(), "model-io", None);
+        assert_eq!(out.source, PolicySource::Heuristic);
+        assert_eq!(out.record.degradations.len(), 1);
+        assert_eq!(out.record.degradations[0].kind, "model-load-error");
+        assert!(!out.result.is_unknown());
+    }
+
+    // With the fault plan gone the same file loads fine and clears the
+    // sticky fault — degraded mode is recoverable, not an end state.
+    drop(scope);
+    s.load_weights(&path).expect("clean reload");
+    assert!(s.model_fault().is_none());
+    let f = neuroselect::sat_gen::phase_transition_3sat(25, 1);
+    assert_eq!(s.decide_policy(&f).0.source, PolicySource::Model);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn inference_panic_falls_back_to_the_heuristic() {
+    let scope = faults::install("inference-panic(times=10)".parse().expect("plan"));
+    let s = tiny_solver();
+    for seed in [1u64, 2, 3] {
+        let f = neuroselect::sat_gen::phase_transition_3sat(25, seed);
+        let (decision, _) = s.decide_policy(&f);
+        assert_eq!(decision.source, PolicySource::Heuristic);
+        assert_eq!(decision.degradations.len(), 1);
+        assert_eq!(decision.degradations[0].kind(), "inference-panic");
+        assert_solves_correctly(&s, seed);
+    }
+    assert!(scope.fired(faults::site::INFERENCE_PANIC) >= 3);
+}
+
+#[test]
+fn inference_stall_past_the_deadline_discards_the_answer() {
+    let scope = faults::install("inference-stall(ms=80,times=10)".parse().expect("plan"));
+    let mut s = tiny_solver();
+    s.inference_deadline = Some(Duration::from_millis(20));
+    for seed in [1u64, 2, 3] {
+        let f = neuroselect::sat_gen::phase_transition_3sat(25, seed);
+        let start = Instant::now();
+        let (decision, _) = s.decide_policy(&f);
+        // The stalled inference completes (cooperative deadline, not
+        // preemption) and its answer is discarded; the pick must not
+        // take meaningfully longer than the stall itself.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(decision.source, PolicySource::Heuristic);
+        assert_eq!(decision.degradations[0].kind(), "inference-deadline");
+        let detail = decision.degradations[0].detail();
+        assert!(detail.contains("deadline"), "telemetry detail: {detail}");
+    }
+    assert!(scope.fired(faults::site::INFERENCE_STALL) >= 3);
+}
+
+#[test]
+fn heuristic_panic_lands_on_the_default_policy() {
+    // Double fault: the model is out (sticky load failure) *and* the
+    // heuristic panics — the bottom rung is the built-in default policy,
+    // which cannot fail.
+    let scope = faults::install("heuristic-panic(times=10)".parse().expect("plan"));
+    let mut s = tiny_solver();
+    let _ = s.load_weights(std::path::Path::new("/nonexistent/weights.params"));
+    assert!(s.model_fault().is_some());
+    for seed in [1u64, 2, 3] {
+        let f = neuroselect::sat_gen::phase_transition_3sat(25, seed);
+        let (decision, _) = s.decide_policy(&f);
+        assert_eq!(decision.source, PolicySource::Default);
+        assert_eq!(decision.policy, PolicyKind::Default);
+        let kinds: Vec<&str> = decision.degradations.iter().map(|d| d.kind()).collect();
+        assert_eq!(kinds, ["model-load-error", "heuristic-panic"]);
+        assert_solves_correctly(&s, seed);
+    }
+    assert!(scope.fired(faults::site::HEURISTIC_PANIC) >= 3);
+}
