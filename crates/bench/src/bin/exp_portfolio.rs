@@ -8,7 +8,7 @@
 //!     [-- --instances N --budget B --workers W --records out.jsonl]
 //! ```
 
-use bench::{dataset_config, mixed_batch, print_table, ExpArgs, RecordLog};
+use bench::{dataset_config, mixed_batch, percentile_line, print_table, ExpArgs, RecordLog};
 use neuroselect::mean;
 use neuroselect::sat_gen::Batch;
 use neuroselect::sat_solver::{
@@ -123,6 +123,14 @@ fn main() {
         })
         .collect();
     print_table(&["strategy", "solved", "mean props", "pool exp/imp"], &rows);
+
+    println!("\npropagation percentiles over all attempts (bucket-interpolated):");
+    for o in &outcomes {
+        match percentile_line(o.props.iter().copied()) {
+            Some(line) => println!("  {:<24} {line}", o.name),
+            None => println!("  {:<24} (no runs)", o.name),
+        }
+    }
 
     let portfolio_solved = outcomes[2].solved;
     println!(

@@ -14,7 +14,8 @@
 //! pipeline phases).
 
 use bench::{
-    dataset_config, labeled_test_set, labeled_training_set, print_table, ExpArgs, RecordLog,
+    dataset_config, labeled_test_set, labeled_training_set, percentile_line, print_table, ExpArgs,
+    RecordLog,
 };
 use neuro::NeuroSelectConfig;
 use neuroselect::sat_solver::{solve_with_policy, solve_with_policy_recorded, PolicyKind};
@@ -103,6 +104,15 @@ fn main() {
         fixed_props.push((!fr.is_unknown()).then_some(fs.propagations as f64));
     }
 
+    // Captured before `RuntimeSummary::from_costs` consumes the series.
+    let pct_lines: Vec<(&str, Option<String>)> = [
+        ("default", &base_props),
+        ("NeuroSelect (thr 0.5)", &fixed_props),
+        ("NeuroSelect calibrated", &ns_props),
+    ]
+    .map(|(name, props)| (name, percentile_line(props.iter().flatten().copied())))
+    .into();
+
     let rows = |name: &str, p: RuntimeSummary, s: RuntimeSummary| -> Vec<String> {
         vec![
             name.to_string(),
@@ -141,6 +151,13 @@ fn main() {
             rows("NeuroSelect calibrated", np, ns),
         ],
     );
+    println!("\npropagation percentiles over solved instances (bucket-interpolated):");
+    for (name, line) in &pct_lines {
+        match line {
+            Some(line) => println!("  {name:<22} {line}"),
+            None => println!("  {name:<22} (nothing solved)"),
+        }
+    }
     println!(
         "calibrated threshold {:.3} (train-set costs: calibrated {} vs fixed-0.5 {} vs          never-switch {}, oracle {}, efficiency {:.0}%)",
         calibration.threshold,

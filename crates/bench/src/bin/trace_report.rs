@@ -1,0 +1,37 @@
+//! `trace-report` — summarizes a Chrome trace-event file produced by
+//! `rsat --trace-out` (or any `telemetry::trace` exporter):
+//!
+//! ```text
+//! trace-report TRACE.json
+//! ```
+//!
+//! Prints per-phase/per-worker time breakdowns, the import-to-use latency
+//! of shared clauses, and the inference-vs-solve overlap.
+
+use bench::trace_report::analyze_str;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace-report TRACE.json");
+        return ExitCode::from(1);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace-report: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match analyze_str(&text) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-report: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod trace_report;
+
 use neuroselect::sat_gen::{competition_batch, test_batch, Batch, DatasetConfig};
 use neuroselect::{label_batch, LabeledInstance, LabelingConfig};
 use std::collections::HashMap;
@@ -176,6 +178,23 @@ impl Drop for RecordLog {
     }
 }
 
+/// Formats interpolated p50/p90/p99 of a cost distribution, routing the
+/// values through a [`telemetry::Histogram`] with exponential buckets (the
+/// same quantile machinery the solver's in-flight histograms use). Values
+/// are clamped at zero; returns `None` when the iterator is empty.
+pub fn percentile_line(values: impl IntoIterator<Item = f64>) -> Option<String> {
+    let mut h = telemetry::Histogram::exponential(1, 2, 48);
+    for v in values {
+        h.record(v.max(0.0) as u64);
+    }
+    match (h.p50(), h.p90(), h.p99()) {
+        (Some(p50), Some(p90), Some(p99)) => {
+            Some(format!("p50 {p50:.0} | p90 {p90:.0} | p99 {p99:.0}"))
+        }
+        _ => None,
+    }
+}
+
 /// Prints a plain-text table: a header row and aligned columns.
 ///
 /// # Panics
@@ -232,6 +251,21 @@ mod tests {
         let c = dataset_config(&ExpArgs::default());
         assert_eq!(c.instances_per_batch, 24);
         assert_eq!(c.scale, 1.0);
+    }
+
+    #[test]
+    fn percentile_line_reports_interpolated_quantiles() {
+        assert_eq!(percentile_line(std::iter::empty()), None);
+        let line = percentile_line((1..=100).map(f64::from)).expect("non-empty");
+        assert!(line.starts_with("p50 "), "{line}");
+        assert!(line.contains("| p90 ") && line.contains("| p99 "), "{line}");
+        // Uniform 1..=100 should place p50 near the middle of the range.
+        let p50: f64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .expect("p50 value");
+        assert!((30.0..=70.0).contains(&p50), "{line}");
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! `trace-report`: offline analyzer for Chrome trace-event files written
+//! by `rsat --trace-out` (and any other `telemetry::trace` producer).
+//!
+//! Turns the raw event stream into the three summaries every perf
+//! discussion needs: per-phase/per-worker time breakdowns, import-to-use
+//! latency for shared clauses, and the inference-vs-solve overlap.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use telemetry::json::Json;
+
+/// Span names treated as NeuroSelect pipeline inference work.
+const INFERENCE_SPANS: [&str; 2] = ["feature-extract", "gnn-forward"];
+/// Span name treated as solver search work.
+const SOLVE_SPAN: &str = "solve";
+
+/// Aggregate of one span name within one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSummary {
+    /// Span (phase) name.
+    pub name: String,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total duration across occurrences, in microseconds.
+    pub total_us: f64,
+}
+
+/// Everything observed on one Chrome `pid` lane (one worker, or the
+/// coordinating/pipeline thread on pid 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSummary {
+    /// Chrome process id of the lane.
+    pub pid: u64,
+    /// Lane label from the `process_name` metadata (empty if absent).
+    pub label: String,
+    /// Span totals, largest first.
+    pub spans: Vec<SpanSummary>,
+    /// Instant-event counts by name, most frequent first.
+    pub instants: Vec<(String, u64)>,
+    /// Events lost to ring wrap-around (from the `trace-dropped` marker).
+    pub dropped: u64,
+}
+
+impl LaneSummary {
+    /// Wall-clock span of the lane's events, in microseconds.
+    fn busy_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.total_us).sum()
+    }
+}
+
+/// Import-to-use latency for shared clauses, paired per lane: each
+/// `import-use` instant is matched with the latest preceding
+/// `clause-import` on the same lane. The pairing is approximate — events
+/// carry no clause identity — so it reports how quickly *recently
+/// imported* clauses start resolving conflicts, a lower bound on the true
+/// per-clause latency.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImportUseSummary {
+    /// Total `clause-import` instants.
+    pub imports: u64,
+    /// Total `import-use` instants.
+    pub uses: u64,
+    /// Uses that had a preceding import on their lane.
+    pub matched: u64,
+    /// Mean matched latency in microseconds.
+    pub mean_us: f64,
+    /// Largest matched latency in microseconds.
+    pub max_us: f64,
+}
+
+/// How much GNN inference ran concurrently with solver search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OverlapSummary {
+    /// Total inference time (feature-extract + gnn-forward), microseconds.
+    pub inference_us: f64,
+    /// Total union of solver `solve` spans, microseconds.
+    pub solve_us: f64,
+    /// Inference time that overlapped some `solve` span, microseconds.
+    pub overlap_us: f64,
+}
+
+/// The full analysis of one trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-lane breakdowns, ordered by pid.
+    pub lanes: Vec<LaneSummary>,
+    /// Shared-clause import-to-use latency.
+    pub import_use: ImportUseSummary,
+    /// Inference-vs-solve concurrency.
+    pub overlap: OverlapSummary,
+}
+
+/// One `"ph":"X"` interval: `[start, start + dur)` in microseconds.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: f64,
+    end: f64,
+}
+
+/// Merges intervals into a disjoint union and returns it sorted.
+fn union(mut intervals: Vec<Interval>) -> Vec<Interval> {
+    intervals.sort_by(|a, b| a.start.total_cmp(&b.start));
+    let mut merged: Vec<Interval> = Vec::new();
+    for iv in intervals {
+        match merged.last_mut() {
+            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+            _ => merged.push(iv),
+        }
+    }
+    merged
+}
+
+/// Total length of the intersection between two disjoint sorted unions.
+fn intersection_us(a: &[Interval], b: &[Interval]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].start.max(b[j].start);
+        let hi = a[i].end.min(b[j].end);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].end < b[j].end {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[derive(Default)]
+struct LaneAccum {
+    label: String,
+    spans: BTreeMap<String, (u64, f64)>,
+    instants: BTreeMap<String, u64>,
+    dropped: u64,
+    import_ts: Vec<f64>,
+    use_ts: Vec<f64>,
+}
+
+/// Analyzes a parsed Chrome trace-event document.
+///
+/// # Errors
+///
+/// Returns a message when the document is not an object with a
+/// `traceEvents` array, or an event is missing a required field.
+pub fn analyze(doc: &Json) -> Result<TraceReport, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("not a Chrome trace: missing `traceEvents` array")?;
+
+    let mut lanes: BTreeMap<u64, LaneAccum> = BTreeMap::new();
+    let mut inference: Vec<Interval> = Vec::new();
+    let mut solve: Vec<Interval> = Vec::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let field = |key: &str| {
+            ev.get(key)
+                .ok_or_else(|| format!("event {idx}: missing `{key}`"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: `ph` is not a string"))?;
+        let pid = field("pid")?
+            .as_u64()
+            .ok_or_else(|| format!("event {idx}: `pid` is not an integer"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {idx}: `name` is not a string"))?
+            .to_string();
+        let lane = lanes.entry(pid).or_default();
+        match ph {
+            "M" if name == "process_name" => {
+                if let Some(label) = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                {
+                    lane.label = label.to_string();
+                }
+            }
+            "X" => {
+                let ts = field("ts")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {idx}: `ts` is not a number"))?;
+                let dur = field("dur")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {idx}: `dur` is not a number"))?;
+                let slot = lane.spans.entry(name.clone()).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += dur;
+                let interval = Interval {
+                    start: ts,
+                    end: ts + dur,
+                };
+                if INFERENCE_SPANS.contains(&name.as_str()) {
+                    inference.push(interval);
+                } else if name == SOLVE_SPAN {
+                    solve.push(interval);
+                }
+            }
+            "i" | "I" => {
+                let ts = field("ts")?
+                    .as_f64()
+                    .ok_or_else(|| format!("event {idx}: `ts` is not a number"))?;
+                match name.as_str() {
+                    "clause-import" => lane.import_ts.push(ts),
+                    "import-use" => lane.use_ts.push(ts),
+                    "trace-dropped" => {
+                        lane.dropped += ev
+                            .get("args")
+                            .and_then(|a| a.get("count"))
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0);
+                    }
+                    _ => {}
+                }
+                *lane.instants.entry(name).or_insert(0) += 1;
+            }
+            _ => {} // B/E or other phases are not produced by our exporter
+        }
+    }
+
+    let mut import_use = ImportUseSummary::default();
+    let mut latency_sum = 0.0;
+    for lane in lanes.values_mut() {
+        lane.import_ts.sort_by(f64::total_cmp);
+        lane.use_ts.sort_by(f64::total_cmp);
+        import_use.imports += lane.import_ts.len() as u64;
+        import_use.uses += lane.use_ts.len() as u64;
+        for &use_ts in &lane.use_ts {
+            // Latest import at or before the use on the same lane.
+            let n = lane.import_ts.partition_point(|&t| t <= use_ts);
+            if n > 0 {
+                let latency = use_ts - lane.import_ts[n - 1];
+                import_use.matched += 1;
+                latency_sum += latency;
+                import_use.max_us = import_use.max_us.max(latency);
+            }
+        }
+    }
+    if import_use.matched > 0 {
+        import_use.mean_us = latency_sum / import_use.matched as f64;
+    }
+
+    let (inference, solve) = (union(inference), union(solve));
+    // `+ 0.0` normalizes the empty sum, which is IEEE `-0.0` and would
+    // print as "-0.00 ms". (`.max(0.0)` is not reliable here: LLVM's maxnum
+    // leaves the sign of a zero result unspecified, while `-0.0 + 0.0` is
+    // `+0.0` in every IEEE rounding mode Rust uses.)
+    let overlap = OverlapSummary {
+        inference_us: inference.iter().map(|iv| iv.end - iv.start).sum::<f64>() + 0.0,
+        solve_us: solve.iter().map(|iv| iv.end - iv.start).sum::<f64>() + 0.0,
+        overlap_us: intersection_us(&inference, &solve),
+    };
+
+    let lanes = lanes
+        .into_iter()
+        .map(|(pid, accum)| {
+            let mut spans: Vec<SpanSummary> = accum
+                .spans
+                .into_iter()
+                .map(|(name, (count, total_us))| SpanSummary {
+                    name,
+                    count,
+                    total_us,
+                })
+                .collect();
+            spans.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then(a.name.cmp(&b.name)));
+            let mut instants: Vec<(String, u64)> = accum.instants.into_iter().collect();
+            instants.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            LaneSummary {
+                pid,
+                label: accum.label,
+                spans,
+                instants,
+                dropped: accum.dropped,
+            }
+        })
+        .collect();
+
+    Ok(TraceReport {
+        lanes,
+        import_use,
+        overlap,
+    })
+}
+
+/// Parses the trace text and analyzes it in one step.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or a non-trace document.
+pub fn analyze_str(text: &str) -> Result<TraceReport, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    analyze(&doc)
+}
+
+fn ms(us: f64) -> f64 {
+    us / 1000.0
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace report ({} lanes)", self.lanes.len())?;
+        for lane in &self.lanes {
+            let label = if lane.label.is_empty() {
+                "unnamed".to_string()
+            } else {
+                lane.label.clone()
+            };
+            writeln!(
+                f,
+                "\nlane pid {} — {} ({:.2} ms in spans)",
+                lane.pid,
+                label,
+                ms(lane.busy_us())
+            )?;
+            if lane.dropped > 0 {
+                writeln!(
+                    f,
+                    "  WARNING: ring buffer wrapped, {} oldest events lost",
+                    lane.dropped
+                )?;
+            }
+            for span in &lane.spans {
+                writeln!(
+                    f,
+                    "  {:<15} {:>10.2} ms  ({} calls)",
+                    span.name,
+                    ms(span.total_us),
+                    span.count
+                )?;
+            }
+            for (name, count) in &lane.instants {
+                writeln!(f, "  {name:<15} {count:>10} instants")?;
+            }
+        }
+        writeln!(
+            f,
+            "\nshared clauses: {} imported, {} used in conflict analysis",
+            self.import_use.imports, self.import_use.uses
+        )?;
+        if self.import_use.matched > 0 {
+            writeln!(
+                f,
+                "  import-to-use latency (approx, per lane): mean {:.2} ms, max {:.2} ms \
+                 over {} uses",
+                ms(self.import_use.mean_us),
+                ms(self.import_use.max_us),
+                self.import_use.matched
+            )?;
+        }
+        writeln!(
+            f,
+            "\ninference vs solve: inference {:.2} ms, solve {:.2} ms, overlap {:.2} ms",
+            ms(self.overlap.inference_us),
+            ms(self.overlap.solve_us),
+            ms(self.overlap.overlap_us)
+        )?;
+        if self.overlap.inference_us > 0.0 {
+            writeln!(
+                f,
+                "  {:.1}% of inference ran concurrently with solving",
+                100.0 * self.overlap.overlap_us / self.overlap.inference_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::trace::{chrome_trace, ThreadLog, TraceEvent, TraceKind};
+
+    fn ev(kind: TraceKind, name: &'static str, t_us: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            name,
+            t_ns: t_us * 1000,
+            args: [("", 0); 2],
+        }
+    }
+
+    fn sample_trace() -> Json {
+        let pipeline = ThreadLog {
+            pid: 0,
+            label: "main".to_string(),
+            dropped: 0,
+            events: vec![
+                ev(TraceKind::Begin, "feature-extract", 0),
+                ev(TraceKind::End, "feature-extract", 100),
+                ev(TraceKind::Begin, "gnn-forward", 100),
+                ev(TraceKind::End, "gnn-forward", 250),
+            ],
+        };
+        let worker = ThreadLog {
+            pid: 1,
+            label: "worker 0 (default)".to_string(),
+            dropped: 3,
+            events: vec![
+                ev(TraceKind::Begin, "solve", 200),
+                ev(TraceKind::Instant, "clause-import", 300),
+                ev(TraceKind::Instant, "import-use", 450),
+                ev(TraceKind::Instant, "clause-import", 500),
+                ev(TraceKind::Instant, "import-use", 520),
+                ev(TraceKind::End, "solve", 1200),
+            ],
+        };
+        chrome_trace(&[pipeline, worker])
+    }
+
+    #[test]
+    fn per_lane_breakdown_and_latency() {
+        let report = analyze(&sample_trace()).unwrap();
+        assert_eq!(report.lanes.len(), 2);
+
+        let main = &report.lanes[0];
+        assert_eq!(main.pid, 0);
+        assert_eq!(main.spans.len(), 2);
+        let gnn = main.spans.iter().find(|s| s.name == "gnn-forward").unwrap();
+        assert!((gnn.total_us - 150.0).abs() < 1e-6);
+
+        let worker = &report.lanes[1];
+        assert_eq!(worker.label, "worker 0 (default)");
+        assert_eq!(worker.dropped, 3);
+        let solve = &worker.spans[0];
+        assert_eq!((solve.name.as_str(), solve.count), ("solve", 1));
+        assert!((solve.total_us - 1000.0).abs() < 1e-6);
+
+        // use@450 pairs with import@300 (150µs); use@520 with import@500
+        // (20µs): mean 85µs, max 150µs.
+        assert_eq!(report.import_use.imports, 2);
+        assert_eq!(report.import_use.matched, 2);
+        assert!((report.import_use.mean_us - 85.0).abs() < 1e-6);
+        assert!((report.import_use.max_us - 150.0).abs() < 1e-6);
+
+        // Inference [0, 250) vs solve [200, 1200): 50µs overlap.
+        assert!((report.overlap.inference_us - 250.0).abs() < 1e-6);
+        assert!((report.overlap.solve_us - 1000.0).abs() < 1e-6);
+        assert!((report.overlap.overlap_us - 50.0).abs() < 1e-6);
+
+        let text = report.to_string();
+        assert!(text.contains("lane pid 1"));
+        assert!(text.contains("import-to-use latency"));
+        assert!(text.contains("ring buffer wrapped, 3"));
+    }
+
+    #[test]
+    fn round_trips_through_serialized_json() {
+        let text = sample_trace().to_string();
+        let report = analyze_str(&text).unwrap();
+        assert_eq!(report, analyze(&sample_trace()).unwrap());
+    }
+
+    #[test]
+    fn rejects_non_trace_documents() {
+        assert!(analyze_str("{}").is_err());
+        assert!(analyze_str("not json at all").is_err());
+        assert!(analyze_str("{\"traceEvents\": [{}]}").is_err());
+    }
+
+    #[test]
+    fn interval_union_and_intersection() {
+        let a = union(vec![
+            Interval {
+                start: 0.0,
+                end: 10.0,
+            },
+            Interval {
+                start: 5.0,
+                end: 20.0,
+            },
+            Interval {
+                start: 30.0,
+                end: 40.0,
+            },
+        ]);
+        assert_eq!(a.len(), 2);
+        let b = union(vec![Interval {
+            start: 15.0,
+            end: 35.0,
+        }]);
+        assert!((intersection_us(&a, &b) - 10.0).abs() < 1e-9);
+    }
+}

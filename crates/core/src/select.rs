@@ -184,9 +184,13 @@ impl NeuroSelectSolver {
             let mut inner = PhaseTimes::default();
             let prepared = {
                 let _guard = inner.scope(Phase::FeatureExtract);
+                let _span = telemetry::trace::span("feature-extract");
                 self.classifier.prepare(formula)
             };
-            let (probability, forward_time) = self.classifier.predict_timed(&prepared);
+            let (probability, forward_time) = {
+                let _span = telemetry::trace::span("gnn-forward");
+                self.classifier.predict_timed(&prepared)
+            };
             inner.add(Phase::GnnForward, forward_time);
             (probability, inner)
         });
@@ -206,10 +210,13 @@ impl NeuroSelectSolver {
             }
         }
         let select_start = Instant::now();
-        let chosen = if probability > self.threshold {
-            PolicyKind::PropFreq
-        } else {
-            PolicyKind::Default
+        let chosen = {
+            let _span = telemetry::trace::span("policy-select");
+            if probability > self.threshold {
+                PolicyKind::PropFreq
+            } else {
+                PolicyKind::Default
+            }
         };
         phases.add(Phase::PolicySelect, select_start.elapsed());
         let decision = PolicyDecision {

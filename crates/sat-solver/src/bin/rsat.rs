@@ -7,6 +7,7 @@
 //!               [--check-proof] [--check[=off|light|full]] [--preprocess]
 //!               [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]
 //!               [--portfolio[=N]] [--seed N] [--fault-plan PLAN]
+//!               [--trace-out FILE.json]
 //! ```
 //!
 //! `--timeout` and `--mem-limit` are *cooperative* resource ceilings
@@ -27,6 +28,12 @@
 //! (solve start/end, reduction snapshots, progress heartbeats) as JSON
 //! Lines; `--progress` prints heartbeats every SECS seconds — to the
 //! JSONL stream when one is open, as `c progress` comments otherwise.
+//!
+//! `--trace-out` records span traces into per-thread ring buffers (one
+//! lane per portfolio worker) and writes a Chrome trace-event JSON file at
+//! exit, loadable in Perfetto / `chrome://tracing` and summarized by the
+//! `trace-report` tool. It requires a build with the `trace` feature;
+//! without it the flag is a polite error.
 //!
 //! Exit codes follow the SAT-competition convention: 10 = SAT,
 //! 20 = UNSAT, 0 = unknown/indeterminate, 1 = usage or I/O error.
@@ -62,6 +69,8 @@ struct Options {
     /// Approximate memory ceiling in MiB.
     mem_limit_mb: Option<u64>,
     fault_plan: Option<String>,
+    /// Chrome trace-event output path (requires the `trace` feature).
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -71,7 +80,8 @@ fn usage() -> ! {
          \x20             [--timeout SECS] [--mem-limit MB]\n\
          \x20             [--check-proof] [--check[=off|light|full]] [--preprocess]\n\
          \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]\n\
-         \x20             [--portfolio[=N]] [--seed N] [--fault-plan PLAN]"
+         \x20             [--portfolio[=N]] [--seed N] [--fault-plan PLAN]\n\
+         \x20             [--trace-out FILE.json]"
     );
     std::process::exit(1)
 }
@@ -110,11 +120,15 @@ impl Sink for CommentSink {
         {
             // sinks must never take the solver down — a closed stdout
             // (e.g. piped into `head`) is dropped, not propagated
+            let mut out = std::io::stdout();
             let _ = writeln!(
-                std::io::stdout(),
+                out,
                 "c progress {elapsed_s:.1}s | {conflicts} conflicts ({conflicts_per_sec:.0}/s) \
                  | {propagations} propagations | {learned} learned"
             );
+            // Heartbeats exist to be watched live: flush each line so a
+            // piped/redirected stream sees it now, not in 8 KiB bursts.
+            let _ = out.flush();
         }
     }
 }
@@ -137,6 +151,7 @@ fn parse_args() -> Options {
     let mut timeout = None;
     let mut mem_limit_mb = None;
     let mut fault_plan = None;
+    let mut trace_out = None;
     let parse_timeout = |v: Option<String>| -> Option<Duration> {
         let secs: f64 = v.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
         if secs >= 0.0 && secs.is_finite() {
@@ -184,6 +199,10 @@ fn parse_args() -> Options {
             "--fault-plan" => fault_plan = Some(args.next().unwrap_or_else(|| usage())),
             p if p.starts_with("--fault-plan=") => {
                 fault_plan = Some(p["--fault-plan=".len()..].to_string());
+            }
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            t if t.starts_with("--trace-out=") => {
+                trace_out = Some(t["--trace-out=".len()..].to_string());
             }
             "--proof" => proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => check = true,
@@ -252,6 +271,7 @@ fn parse_args() -> Options {
         timeout,
         mem_limit_mb,
         fault_plan,
+        trace_out,
     }
 }
 
@@ -301,6 +321,43 @@ fn arm_fault_plan(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Arms span tracing when `--trace-out` is given. Requesting a trace from
+/// a binary built without the `trace` feature is a usage error, not a
+/// silently empty file: a benchmark harness that thinks it is recording
+/// but is not would draw conclusions from a blank trace.
+fn arm_trace(opts: &Options) -> Result<(), String> {
+    if opts.trace_out.is_none() {
+        return Ok(());
+    }
+    if !telemetry::trace::enabled() {
+        return Err(String::from(
+            "--trace-out requested, but this rsat was built without the \
+             `trace` feature (rebuild with `--features trace`)",
+        ));
+    }
+    telemetry::trace::arm(0);
+    Ok(())
+}
+
+/// Drains every trace ring buffer and writes the Chrome trace-event file.
+/// Called right after solving, while worker lanes are freshly flushed.
+fn write_trace(opts: &Options) -> Result<(), String> {
+    let Some(path) = &opts.trace_out else {
+        return Ok(());
+    };
+    telemetry::trace::disarm();
+    let logs = telemetry::trace::drain();
+    let doc = telemetry::trace::chrome_trace(&logs);
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    w.write_all(doc.to_string().as_bytes())
+        .and_then(|()| w.write_all(b"\n"))
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!("c trace written to {path} ({} lanes)", logs.len());
+    Ok(())
+}
+
 /// Opens and parses the DIMACS input. The `dimacs-io` fault point swaps
 /// the file for one that fails mid-stream, exercising the same graceful
 /// diagnostic path a real disk/network failure would take.
@@ -333,6 +390,10 @@ fn write_drat_file(proof: &sat_solver::ProofLogger, file: File) -> std::io::Resu
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Err(e) = arm_fault_plan(&opts) {
+        eprintln!("rsat: {e}");
+        return ExitCode::from(1);
+    }
+    if let Err(e) = arm_trace(&opts) {
         eprintln!("rsat: {e}");
         return ExitCode::from(1);
     }
@@ -435,7 +496,14 @@ fn main() -> ExitCode {
         solver.set_telemetry(tel);
     }
 
-    let result = solver.solve_with_budget(armed_budget(&opts));
+    let result = {
+        let _solve_span = telemetry::trace::span("solve");
+        solver.solve_with_budget(armed_budget(&opts))
+    };
+    if let Err(e) = write_trace(&opts) {
+        eprintln!("rsat: {e}");
+        return ExitCode::from(1);
+    }
 
     if opts.check_level.is_some() {
         if let Err(e) = solver.audit_invariants(Checkpoint::PostPropagate) {
@@ -582,7 +650,17 @@ fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode
         opts.policy, opts.seed, config.export_glue
     );
 
-    let outcome = match solve_portfolio(formula, &config) {
+    let solved = {
+        // The coordinating thread gets its own span so the trace shows the
+        // race envelope next to the per-worker lanes.
+        let _portfolio_span = telemetry::trace::span("portfolio");
+        solve_portfolio(formula, &config)
+    };
+    if let Err(e) = write_trace(opts) {
+        eprintln!("rsat: {e}");
+        return ExitCode::from(1);
+    }
+    let outcome = match solved {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("rsat: portfolio verification FAILED: {e}");

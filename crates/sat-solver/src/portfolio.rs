@@ -295,6 +295,10 @@ impl SharedClausePool {
             lits: lits.into(),
         });
         self.exported.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+        telemetry::trace::instant_with(
+            "clause-export",
+            &[("glue", u64::from(glue)), ("stripe", stripe_index as u64)],
+        );
         true
     }
 
@@ -339,6 +343,10 @@ impl SharedClausePool {
                 self.dropped_quar.fetch_add(withheld, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
             }
             for (lits, glue) in fresh {
+                telemetry::trace::instant_with(
+                    "clause-import",
+                    &[("glue", u64::from(glue)), ("stripe", index as u64)],
+                );
                 each(&lits, glue);
                 delivered += 1;
             }
@@ -679,16 +687,23 @@ pub fn solve_portfolio(
                             configure,
                         })
                     });
-                    match isolated {
+                    let outcome = match isolated {
                         Ok(finished) => WorkerOutcome::Finished(Box::new(finished)),
                         Err(crash) => {
                             // Quarantine before this thread is joined: by
                             // the time the crash is observable, nothing
                             // the worker published is trusted anymore.
                             quarantine_pool.quarantine(i);
+                            telemetry::trace::instant("worker-crash");
+                            telemetry::trace::instant_with("quarantine", &[("worker", i as u64)]);
                             WorkerOutcome::Crashed(crash)
                         }
-                    }
+                    };
+                    // Drain this worker's trace ring while still on its
+                    // thread — after a crash this preserves every event the
+                    // worker recorded up to the panic.
+                    telemetry::trace::flush();
+                    outcome
                 })
             })
             .collect();
@@ -810,6 +825,15 @@ struct WorkerContext<'a> {
 fn run_worker(ctx: WorkerContext<'_>) -> FinishedWorker {
     let policy = ctx.cfg.policy.to_string();
     let seed = ctx.cfg.seed;
+    if telemetry::trace::armed() {
+        // One Chrome lane per worker; pid 0 stays the coordinating thread
+        // (and the NeuroSelect pipeline when racing under `neuroselect`).
+        telemetry::trace::set_lane(
+            ctx.worker as u32 + 1,
+            &format!("worker {} ({policy})", ctx.worker),
+        );
+    }
+    let _solve_span = telemetry::trace::span("solve");
     let mut solver = Solver::new(ctx.formula, ctx.cfg);
     if ctx.workers > 1 {
         solver.set_stop(Arc::clone(&ctx.stop));
@@ -844,6 +868,7 @@ fn run_worker(ctx: WorkerContext<'_>) -> FinishedWorker {
         // First decisive worker wins; Release pairs with the losers'
         // Acquire loads of the stop flag.
         ctx.stop.store(true, Ordering::Release);
+        telemetry::trace::instant_with("winner", &[("worker", ctx.worker as u64)]);
     }
 
     let (exported, imported) = solver

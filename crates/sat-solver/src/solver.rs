@@ -435,6 +435,8 @@ impl Solver {
     /// Drains the clause-sharing channel and integrates every foreign
     /// clause. Only called at the root level (restart boundaries).
     fn import_shared(&mut self) {
+        #[cfg(feature = "trace")]
+        let _import_span = telemetry::trace::span("import");
         let Some(mut exchange) = self.exchange.take() else {
             return;
         };
@@ -629,6 +631,8 @@ impl Solver {
     /// literal first), the backjump level, and the clause's glue.
     fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let analyze_timer = self.telemetry.as_ref().map(|_| Instant::now());
+        #[cfg(feature = "trace")]
+        let _analyze_span = telemetry::trace::span("analyze");
         let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
         let mut counter = 0u32; // literals of the current level not yet resolved
         let mut resolved: Option<Lit> = None;
@@ -638,6 +642,16 @@ impl Solver {
 
         let uip = loop {
             self.bump_clause(cref);
+            #[cfg(feature = "trace")]
+            if self.db.clause(cref).imported {
+                // First conflict-side use of a clause imported from another
+                // worker; pairing it with the preceding "clause-import"
+                // instant on this lane gives the import-to-use latency.
+                telemetry::trace::instant_with(
+                    "import-use",
+                    &[("glue", u64::from(self.db.clause(cref).glue))],
+                );
+            }
             // Iterate the clause's literals; skip the resolved literal,
             // which sits at position 0 of its reason clause.
             let clen = self.db.clause(cref).len();
@@ -687,6 +701,8 @@ impl Solver {
 
         // Recursive clause minimization: drop implied literals.
         let minimize_timer = self.telemetry.as_ref().map(|_| Instant::now());
+        #[cfg(feature = "trace")]
+        let minimize_span = telemetry::trace::span("minimize");
         let before = learned.len();
         let keep: Vec<Lit> = learned
             .iter()
@@ -699,6 +715,8 @@ impl Solver {
         learned.truncate(1);
         learned.extend(keep);
         self.stats.minimized_lits += (before - learned.len()) as u64;
+        #[cfg(feature = "trace")]
+        drop(minimize_span);
         let minimize_elapsed = minimize_timer.map(|start| start.elapsed());
 
         // Backjump level: second-highest level in the learned clause.
@@ -895,7 +913,11 @@ impl Solver {
     /// scoring the paper varies) and resets the frequency counters.
     fn reduce_db(&mut self) {
         let reduce_timer = self.telemetry.as_ref().map(|_| Instant::now());
+        #[cfg(feature = "trace")]
+        let _reduce_span = telemetry::trace::span("reduce");
         self.stats.reductions += 1;
+        #[cfg(feature = "trace")]
+        let score_span = telemetry::trace::span("reduce-score");
         let mut candidates: Vec<(u64, ClauseRef)> = Vec::new();
         for cref in self.db.iter_learned().collect::<Vec<_>>() {
             let c = self.db.clause(cref);
@@ -912,6 +934,8 @@ impl Solver {
         }
         // Lowest scores first; ties broken by clause slot for determinism.
         candidates.sort_unstable();
+        #[cfg(feature = "trace")]
+        drop(score_span);
         let delete_count = (candidates.len() as f64 * self.config.reduce_fraction).floor() as usize;
         for &(_, cref) in candidates.iter().take(delete_count) {
             if let Some(p) = &mut self.proof {
@@ -1075,7 +1099,11 @@ impl Solver {
         }
         loop {
             let bcp_timer = self.telemetry.as_ref().map(|_| Instant::now());
+            #[cfg(feature = "trace")]
+            let bcp_span = telemetry::trace::span("propagate");
             let conflict = self.propagate();
+            #[cfg(feature = "trace")]
+            drop(bcp_span);
             if let (Some(start), Some(t)) = (bcp_timer, self.telemetry.as_deref_mut()) {
                 t.add_phase(Phase::Propagate, start.elapsed());
             }
@@ -1123,6 +1151,8 @@ impl Solver {
                 self.decay_activities();
                 if self.restart.on_conflict(glue) {
                     let restart_timer = self.telemetry.as_ref().map(|_| Instant::now());
+                    #[cfg(feature = "trace")]
+                    let _restart_span = telemetry::trace::span("restart");
                     self.restart.on_restart();
                     self.stats.restarts += 1;
                     if let Some(obs) = &mut self.observer {

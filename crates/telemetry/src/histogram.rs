@@ -162,6 +162,62 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// The `q`-quantile (0.0–1.0) estimated by linear interpolation inside
+    /// the bucket containing the target rank. Returns `None` when empty.
+    ///
+    /// Unlike [`Histogram::quantile`] (which reports the bucket's upper
+    /// *bound*, a conservative ceiling), this interpolates between the
+    /// bucket's edges — clamped to the observed min/max so wide first or
+    /// overflow buckets cannot invent values outside the data.
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c as f64;
+            if next >= target {
+                let lower = if i == 0 {
+                    self.min as f64
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i] as f64
+                } else {
+                    self.max as f64
+                };
+                let (lower, upper) = (
+                    lower.clamp(self.min as f64, self.max as f64),
+                    upper.clamp(self.min as f64, self.max as f64),
+                );
+                let frac = ((target - cumulative) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + frac * (upper - lower));
+            }
+            cumulative = next;
+        }
+        Some(self.max as f64)
+    }
+
+    /// Interpolated median; see [`Histogram::quantile_interpolated`].
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile_interpolated(0.50)
+    }
+
+    /// Interpolated 90th percentile; see [`Histogram::quantile_interpolated`].
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile_interpolated(0.90)
+    }
+
+    /// Interpolated 99th percentile; see [`Histogram::quantile_interpolated`].
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile_interpolated(0.99)
+    }
+
     /// Merges another histogram with identical bounds into this one.
     ///
     /// # Panics
@@ -263,6 +319,36 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(64));
         assert_eq!(h.quantile(1.0), Some(128));
         assert_eq!(Histogram::linear(1, 1, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_uniform_data() {
+        let mut h = Histogram::exponential(1, 2, 8);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Uniform 1..=100: interpolation should land near the true
+        // percentiles, and strictly inside the conservative bucket bounds.
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((40.0..=64.0).contains(&p50), "p50 = {p50}");
+        assert!((80.0..=100.0).contains(&p90), "p90 = {p90}");
+        assert!((90.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        // Edges clamp to observed data, never to the raw bucket bounds.
+        assert!(h.quantile_interpolated(0.0).unwrap() >= 1.0);
+        assert!((h.quantile_interpolated(1.0).unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(Histogram::linear(1, 1, 2).p50(), None);
+    }
+
+    #[test]
+    fn interpolated_quantiles_on_single_value() {
+        let mut h = Histogram::exponential(1, 2, 6);
+        h.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!((h.quantile_interpolated(q).unwrap() - 7.0).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -498,11 +498,18 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar.
-                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run up to the next quote or escape,
+                    // validating UTF-8 once per run — validating the full
+                    // remaining input per character is quadratic on large
+                    // documents (a megabyte trace would take minutes).
+                    let run = rest
+                        .iter()
+                        .position(|&c| c == b'"' || c == b'\\')
+                        .ok_or(self.error("unterminated string"))?;
+                    let s = std::str::from_utf8(&rest[..run])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }

@@ -16,7 +16,9 @@
 //!   default), [`MemorySink`] (tests), and [`JsonlSink`] (versioned,
 //!   schema-stable JSONL records);
 //! * [`RunRecord`] — the one-per-instance summary (instance id, policy,
-//!   result, stats, per-phase timings, peak clause-DB size).
+//!   result, stats, per-phase timings, peak clause-DB size);
+//! * [`trace`] — low-overhead span tracing into per-thread ring buffers
+//!   with Chrome trace-event export (behind the `trace` cargo feature).
 //!
 //! Serialization is handled by the self-contained [`json`] module (the
 //! build environment is offline, so `serde`/`serde_json` are replaced by
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod trace;
 
 mod histogram;
 mod phase;

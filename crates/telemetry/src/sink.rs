@@ -4,7 +4,7 @@
 use crate::json::{FromJson, FromJsonError, Json, ToJson};
 use crate::record::RunRecord;
 use crate::SCHEMA_VERSION;
-use std::io::Write;
+use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 
 /// A structured telemetry event.
@@ -252,12 +252,27 @@ impl Sink for MemorySink {
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
+    error: Option<io::Error>,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wraps a writer; each emitted event becomes one line.
     pub fn new(writer: W) -> Self {
-        JsonlSink { writer }
+        JsonlSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first I/O error hit while emitting or flushing, if any.
+    ///
+    /// Telemetry must never take the solver down, so write failures do not
+    /// panic and do not propagate — but they are not silently swallowed
+    /// either: the first error is retained here and all subsequent emits
+    /// become no-ops (a failed writer never receives a fresh line that
+    /// could interleave with a torn one).
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
     }
 
     /// Unwraps the inner writer (flushing first).
@@ -269,12 +284,23 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write + Send> Sink for JsonlSink<W> {
     fn emit(&mut self, event: &Event) {
-        // Telemetry must never take the solver down: I/O errors are dropped.
-        let _ = writeln!(self.writer, "{}", event.to_json());
+        if self.error.is_some() {
+            return;
+        }
+        // One write_all per record: every line preceding a mid-line I/O
+        // failure is complete and parseable — torn bytes can only appear
+        // at the exact cut point, never before it.
+        let mut line = event.to_json().to_string();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.writer.flush();
+        if let Err(e) = self.writer.flush() {
+            self.error.get_or_insert(e);
+        }
     }
 }
 

@@ -1,0 +1,104 @@
+//! `JsonlSink` under injected I/O faults: a truncated stream must never
+//! contain a torn (unparseable) line *before* the cut point, and write
+//! errors must surface through `last_error` instead of panicking.
+
+use faults::TruncatingWriter;
+use telemetry::json::{FromJson, Json, ToJson};
+use telemetry::{Event, JsonlSink, RunRecord, Sink};
+
+fn sample_events(n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => Event::SolveStart {
+                instance_id: format!("inst-{i}"),
+                policy: "prop-freq".to_string(),
+                num_vars: 50 + i as u64,
+                num_clauses: 218,
+            },
+            1 => Event::Progress {
+                conflicts: 1000 + i as u64,
+                propagations: 50_000,
+                decisions: 1500,
+                learned: 800,
+                elapsed_s: 0.5,
+                conflicts_per_sec: 2000.0,
+                propagations_per_sec: 100_000.0,
+            },
+            _ => Event::SolveEnd {
+                record: RunRecord::new(format!("inst-{i}"), "default"),
+            },
+        })
+        .collect()
+}
+
+/// Every byte budget from "nothing fits" to "everything fits": all lines
+/// before the cut parse, at most the final (cut) segment is torn, and no
+/// emit panics.
+#[test]
+fn truncation_never_tears_a_line_before_the_cut() {
+    let events = sample_events(9);
+    let full_len: usize = events
+        .iter()
+        .map(|e| e.to_json().to_string().len() + 1)
+        .sum();
+
+    for budget in 0..=full_len {
+        let mut bytes = Vec::new();
+        let hit_error;
+        {
+            let mut sink = JsonlSink::new(TruncatingWriter::new(&mut bytes, budget as u64));
+            for event in &events {
+                sink.emit(event);
+            }
+            sink.flush();
+            hit_error = sink.last_error().is_some();
+        }
+
+        assert!(bytes.len() <= budget, "budget {budget} overrun");
+        if budget < full_len {
+            assert!(hit_error, "budget {budget}: error did not surface");
+        } else {
+            assert!(!hit_error, "full budget must not error");
+        }
+
+        let text = String::from_utf8(bytes).expect("output is UTF-8");
+        let mut segments: Vec<&str> = text.split('\n').collect();
+        // A trailing "" segment means the stream ends on a complete line;
+        // anything else is the (permitted) torn tail at the cut point.
+        let _tail = segments.pop().unwrap_or("");
+        for (i, line) in segments.iter().enumerate() {
+            let parsed = Json::parse(line)
+                .unwrap_or_else(|e| panic!("budget {budget}, line {i} torn: {e:?}"));
+            assert_eq!(Event::from_json(&parsed).unwrap(), events[i]);
+        }
+    }
+}
+
+/// After the first failure the sink goes quiet: no later event may append
+/// bytes that would interleave with the torn tail.
+#[test]
+fn failed_sink_stops_writing() {
+    let mut bytes = Vec::new();
+    {
+        let mut sink = JsonlSink::new(TruncatingWriter::new(&mut bytes, 10));
+        for event in sample_events(6) {
+            sink.emit(&event);
+        }
+        assert!(sink.last_error().is_some());
+    }
+    assert_eq!(bytes.len(), 10, "exactly the budget, nothing after the cut");
+}
+
+/// A zero-budget writer fails on the very first byte; the sink absorbs it.
+#[test]
+fn zero_budget_writer_is_survivable() {
+    let mut bytes = Vec::new();
+    {
+        let mut sink = JsonlSink::new(TruncatingWriter::new(&mut bytes, 0));
+        for event in sample_events(3) {
+            sink.emit(&event);
+        }
+        assert!(sink.last_error().is_some());
+    }
+    assert!(bytes.is_empty());
+}

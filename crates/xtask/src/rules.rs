@@ -103,6 +103,7 @@ pub fn lint_file(path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
         no_panic(path, &tokens, &mut found);
         no_index(path, &tokens, &mut found);
         no_hard_assert(path, &tokens, &mut found);
+        trace_feature_gate(path, src, &tokens, &mut found);
     }
     if is_concurrency_module(path) {
         atomic_ordering(path, &tokens, &mut found);
@@ -229,6 +230,105 @@ fn no_hard_assert(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
                     "`{}!` in a hot-path module; use `debug_assert!` instead",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+/// `trace-feature-gate`: in hot-path modules every `trace::` call site must
+/// sit under a `#[cfg(feature = "trace")]` gate. Elsewhere the tracing API
+/// may rely on its disarmed fast path (one relaxed atomic load), but BCP
+/// and conflict analysis run millions of times per second — default builds
+/// must compile to literally zero tracing code there.
+///
+/// The lexer normalizes string literals to `""`, so the attribute's feature
+/// name is confirmed against the raw source lines spanning the attribute.
+fn trace_feature_gate(path: &str, src: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    let lines: Vec<&str> = src.lines().collect();
+    // Pass 1: token ranges gated by `#[cfg(... feature = "trace" ...)]` —
+    // the attribute plus the item or statement it covers (up to the `}`
+    // closing its first brace, or a `;` outside braces).
+    let mut gated: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut depth = 0usize;
+        let mut saw_cfg = false;
+        let mut saw_feature_str = false;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("cfg") {
+                saw_cfg = true;
+            } else if t.is_ident("feature")
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct("="))
+                && tokens.get(j + 2).is_some_and(|n| n.kind == TokenKind::Str)
+            {
+                saw_feature_str = true;
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            break;
+        }
+        let names_trace = (tokens[start].line..=tokens[j].line).any(|l| {
+            lines
+                .get(l as usize - 1)
+                .is_some_and(|raw| raw.contains("\"trace\""))
+        });
+        if !(saw_cfg && saw_feature_str && names_trace) {
+            i = j + 1;
+            continue;
+        }
+        // Walk the gated item/statement: ends at `;` outside braces or at
+        // the `}` closing the first opened brace (fn bodies, gated blocks,
+        // gated `if` statements).
+        let mut brace = 0i32;
+        let mut k = j + 1;
+        let mut end = tokens.len().saturating_sub(1);
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct("{") {
+                brace += 1;
+            } else if t.is_punct("}") {
+                brace -= 1;
+                if brace == 0 {
+                    end = k;
+                    break;
+                }
+            } else if t.is_punct(";") && brace == 0 {
+                end = k;
+                break;
+            }
+            k += 1;
+        }
+        gated.push((start, end));
+        i = j + 1;
+    }
+    // Pass 2: `trace ::` paths outside every gated range.
+    for (idx, t) in tokens.iter().enumerate() {
+        if t.is_ident("trace")
+            && tokens.get(idx + 1).is_some_and(|n| n.is_punct("::"))
+            && !gated.iter().any(|&(s, e)| idx >= s && idx <= e)
+        {
+            diag(
+                out,
+                "trace-feature-gate",
+                path,
+                t.line,
+                "`trace::` call in a hot-path module outside a `#[cfg(feature = \"trace\")]` \
+                 gate; wrap the statement so default builds keep zero tracing overhead",
             );
         }
     }
@@ -725,6 +825,33 @@ mod tests {
         let src = "use std::collections::HashSet;\nstruct S { seen: HashSet<u32> }\nimpl S {\n    fn f(&self) {\n        for v in &self.seen { let _ = v; }\n    }\n}\nfn g() {\n    let s = HashSet::from([1u32]);\n    let _ = s.iter().count();\n}";
         let d = run(SOLVER, src);
         assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn trace_feature_gate_requires_cfg_on_hot_path_trace_calls() {
+        let ungated =
+            "fn f(s: &mut Solver) {\n    let _g = telemetry::trace::span(\"propagate\");\n}";
+        let d = run(HOT, ungated);
+        assert_eq!(rules(&d), vec!["trace-feature-gate"]);
+        assert_eq!(d[0].line, 2);
+        // Outside hot-path modules the rule does not apply.
+        assert!(run("crates/sat-solver/src/portfolio.rs", ungated).is_empty());
+    }
+
+    #[test]
+    fn trace_feature_gate_accepts_gated_statements_and_items() {
+        // Gated `let`, gated `if` statement, and a gated fn are all fine;
+        // a second ungated site in the same file is still caught.
+        let src = "fn f(s: &mut Solver) {\n    #[cfg(feature = \"trace\")]\n    let span = telemetry::trace::span(\"analyze\");\n    #[cfg(feature = \"trace\")]\n    if s.imported {\n        telemetry::trace::instant_with(\"import-use\", &[(\"glue\", 3)]);\n    }\n    #[cfg(feature = \"trace\")]\n    drop(span);\n}\n#[cfg(feature = \"trace\")]\nfn g() {\n    telemetry::trace::instant(\"reduce\");\n}\nfn h() {\n    telemetry::trace::instant(\"oops\");\n}";
+        let d = run(HOT, src);
+        assert_eq!(rules(&d), vec!["trace-feature-gate"], "{d:?}");
+        assert_eq!(d[0].line, 16);
+        // A cfg gate naming a *different* feature does not count.
+        let wrong = "fn f() {\n    #[cfg(feature = \"metrics\")]\n    let _g = telemetry::trace::span(\"propagate\");\n}";
+        assert_eq!(rules(&run(HOT, wrong)), vec!["trace-feature-gate"]);
+        // An audited site can be annotated inline.
+        let allowed = "fn f() {\n    telemetry::trace::instant(\"x\"); // xtask: allow(trace-feature-gate) cold slow path\n}";
+        assert!(run(HOT, allowed).is_empty());
     }
 
     #[test]
