@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
 pub mod trace_report;
 
 use neuroselect::sat_gen::{competition_batch, test_batch, Batch, DatasetConfig};
@@ -178,19 +179,19 @@ impl Drop for RecordLog {
     }
 }
 
-/// Formats interpolated p50/p90/p99 of a cost distribution, routing the
-/// values through a [`telemetry::Histogram`] with exponential buckets (the
-/// same quantile machinery the solver's in-flight histograms use). Values
-/// are clamped at zero; returns `None` when the iterator is empty.
+/// Formats interpolated p50/p90/p99/p999 of a cost distribution, routing
+/// the values through a [`telemetry::Histogram`] with exponential buckets
+/// (the same quantile machinery the solver's in-flight histograms use).
+/// Values are clamped at zero; returns `None` when the iterator is empty.
 pub fn percentile_line(values: impl IntoIterator<Item = f64>) -> Option<String> {
     let mut h = telemetry::Histogram::exponential(1, 2, 48);
     for v in values {
         h.record(v.max(0.0) as u64);
     }
-    match (h.p50(), h.p90(), h.p99()) {
-        (Some(p50), Some(p90), Some(p99)) => {
-            Some(format!("p50 {p50:.0} | p90 {p90:.0} | p99 {p99:.0}"))
-        }
+    match (h.p50(), h.p90(), h.p99(), h.p999()) {
+        (Some(p50), Some(p90), Some(p99), Some(p999)) => Some(format!(
+            "p50 {p50:.0} | p90 {p90:.0} | p99 {p99:.0} | p999 {p999:.0}"
+        )),
         _ => None,
     }
 }
@@ -259,6 +260,7 @@ mod tests {
         let line = percentile_line((1..=100).map(f64::from)).expect("non-empty");
         assert!(line.starts_with("p50 "), "{line}");
         assert!(line.contains("| p90 ") && line.contains("| p99 "), "{line}");
+        assert!(line.contains("| p999 "), "{line}");
         // Uniform 1..=100 should place p50 near the middle of the range.
         let p50: f64 = line
             .split_whitespace()

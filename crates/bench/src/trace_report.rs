@@ -293,7 +293,7 @@ pub fn analyze(doc: &Json) -> Result<TraceReport, String> {
 ///
 /// Returns a message on malformed JSON or a non-trace document.
 pub fn analyze_str(text: &str) -> Result<TraceReport, String> {
-    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     analyze(&doc)
 }
 
@@ -460,6 +460,15 @@ mod tests {
         assert!(analyze_str("{}").is_err());
         assert!(analyze_str("not json at all").is_err());
         assert!(analyze_str("{\"traceEvents\": [{}]}").is_err());
+        // Empty input: a one-line error, not a panic.
+        let err = analyze_str("").expect_err("empty input");
+        assert!(!err.contains('\n'), "{err}");
+        assert!(err.starts_with("invalid JSON: "), "{err}");
+        // Pathologically deep nesting must fail the same way (the parser
+        // bounds recursion rather than overflowing the stack).
+        let err = analyze_str(&"[".repeat(100_000)).expect_err("deep nesting");
+        assert!(err.contains("nesting too deep"), "{err}");
+        assert!(!err.contains('\n'), "{err}");
     }
 
     #[test]

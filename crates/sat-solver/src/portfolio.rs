@@ -295,6 +295,7 @@ impl SharedClausePool {
             lits: lits.into(),
         });
         self.exported.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+        telemetry::metrics::inc(telemetry::metrics::Counter::PoolExported);
         telemetry::trace::instant_with(
             "clause-export",
             &[("glue", u64::from(glue)), ("stripe", stripe_index as u64)],
@@ -352,6 +353,7 @@ impl SharedClausePool {
             }
         }
         self.imported.fetch_add(delivered, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
+        telemetry::metrics::add(telemetry::metrics::Counter::PoolImported, delivered);
         delivered
     }
 }

@@ -1101,7 +1101,23 @@ impl Solver {
             let bcp_timer = self.telemetry.as_ref().map(|_| Instant::now());
             #[cfg(feature = "trace")]
             let bcp_span = telemetry::trace::span("propagate");
+            #[cfg(feature = "metrics")]
+            let metrics_props_before = self.stats.propagations;
+            #[cfg(feature = "metrics")]
+            let metrics_bcp_timer = telemetry::metrics::phase_timer();
             let conflict = self.propagate();
+            #[cfg(feature = "metrics")]
+            {
+                telemetry::metrics::phase_done(
+                    metrics_bcp_timer,
+                    telemetry::metrics::Counter::PropagateNanos,
+                    telemetry::metrics::Counter::PropagateCalls,
+                );
+                telemetry::metrics::add(
+                    telemetry::metrics::Counter::Propagations,
+                    self.stats.propagations.saturating_sub(metrics_props_before),
+                );
+            }
             #[cfg(feature = "trace")]
             drop(bcp_span);
             if let (Some(start), Some(t)) = (bcp_timer, self.telemetry.as_deref_mut()) {
@@ -1109,6 +1125,8 @@ impl Solver {
             }
             if let Some(conflict) = conflict {
                 self.stats.conflicts += 1;
+                #[cfg(feature = "metrics")]
+                telemetry::metrics::inc(telemetry::metrics::Counter::Conflicts);
                 if self.decision_level() == 0 {
                     self.ok = false;
                     if let Some(p) = &mut self.proof {
@@ -1117,7 +1135,18 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let trail_depth = self.trail.len();
+                #[cfg(feature = "metrics")]
+                let metrics_analyze_timer = telemetry::metrics::phase_timer();
                 let (learned, bt_level, glue) = self.analyze(conflict);
+                #[cfg(feature = "metrics")]
+                {
+                    telemetry::metrics::phase_done(
+                        metrics_analyze_timer,
+                        telemetry::metrics::Counter::AnalyzeNanos,
+                        telemetry::metrics::Counter::AnalyzeCalls,
+                    );
+                    telemetry::metrics::inc(telemetry::metrics::Counter::LearnedClauses);
+                }
                 self.stats.learned_clauses += 1;
                 self.stats.glue_sum += glue as u64;
                 if let Some(obs) = &mut self.observer {
@@ -1155,6 +1184,21 @@ impl Solver {
                     let _restart_span = telemetry::trace::span("restart");
                     self.restart.on_restart();
                     self.stats.restarts += 1;
+                    // Restart boundaries double as the gauge refresh points:
+                    // cheap, frequent enough for live monitoring, and off
+                    // the per-propagation fast path.
+                    #[cfg(feature = "metrics")]
+                    if telemetry::metrics::armed() {
+                        telemetry::metrics::inc(telemetry::metrics::Counter::Restarts);
+                        telemetry::metrics::set_gauge(
+                            telemetry::metrics::Gauge::MemoryBytes,
+                            self.approx_memory_bytes() as f64,
+                        );
+                        telemetry::metrics::set_gauge(
+                            telemetry::metrics::Gauge::LiveLearned,
+                            self.db.num_learned() as f64,
+                        );
+                    }
                     if let Some(obs) = &mut self.observer {
                         obs.on_restart(self.stats.restarts);
                     }
@@ -1198,11 +1242,40 @@ impl Solver {
                     .num_learned()
                     .saturating_sub(self.num_assigned_reasons());
                 if reducible >= self.reduce_limit {
+                    #[cfg(feature = "metrics")]
+                    let metrics_reduce_timer = telemetry::metrics::phase_timer();
+                    #[cfg(feature = "metrics")]
+                    let metrics_deleted_before = self.stats.deleted_clauses;
                     self.reduce_db();
+                    #[cfg(feature = "metrics")]
+                    if telemetry::metrics::armed() {
+                        telemetry::metrics::phase_done(
+                            metrics_reduce_timer,
+                            telemetry::metrics::Counter::ReduceNanos,
+                            telemetry::metrics::Counter::ReduceCalls,
+                        );
+                        telemetry::metrics::inc(telemetry::metrics::Counter::Reductions);
+                        telemetry::metrics::add(
+                            telemetry::metrics::Counter::DeletedClauses,
+                            self.stats
+                                .deleted_clauses
+                                .saturating_sub(metrics_deleted_before),
+                        );
+                        telemetry::metrics::set_gauge(
+                            telemetry::metrics::Gauge::MemoryBytes,
+                            self.approx_memory_bytes() as f64,
+                        );
+                        telemetry::metrics::set_gauge(
+                            telemetry::metrics::Gauge::LiveLearned,
+                            self.db.num_learned() as f64,
+                        );
+                    }
                 }
                 match self.decide() {
                     Some(l) => {
                         self.stats.decisions += 1;
+                        #[cfg(feature = "metrics")]
+                        telemetry::metrics::inc(telemetry::metrics::Counter::Decisions);
                         self.trail_lim.push(self.trail.len());
                         self.assign(l, None);
                     }

@@ -218,6 +218,14 @@ impl Histogram {
         self.quantile_interpolated(0.99)
     }
 
+    /// Interpolated 99.9th percentile; see
+    /// [`Histogram::quantile_interpolated`]. The tail meter for latency
+    /// reports where rare outliers (GC-like pauses, reduction storms)
+    /// hide inside an ordinary-looking p99.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile_interpolated(0.999)
+    }
+
     /// Merges another histogram with identical bounds into this one.
     ///
     /// # Panics
@@ -332,10 +340,16 @@ mod tests {
         let p50 = h.p50().unwrap();
         let p90 = h.p90().unwrap();
         let p99 = h.p99().unwrap();
+        let p999 = h.p999().unwrap();
         assert!((40.0..=64.0).contains(&p50), "p50 = {p50}");
         assert!((80.0..=100.0).contains(&p90), "p90 = {p90}");
         assert!((90.0..=100.0).contains(&p99), "p99 = {p99}");
-        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        assert!((90.0..=100.0).contains(&p999), "p999 = {p999}");
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "quantiles must be monotone"
+        );
+        assert_eq!(Histogram::linear(1, 1, 2).p999(), None);
         // Edges clamp to observed data, never to the raw bucket bounds.
         assert!(h.quantile_interpolated(0.0).unwrap() >= 1.0);
         assert!((h.quantile_interpolated(1.0).unwrap() - 100.0).abs() < 1e-9);

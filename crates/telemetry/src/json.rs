@@ -176,6 +176,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -335,9 +336,16 @@ impl std::fmt::Display for ParseJsonError {
 
 impl std::error::Error for ParseJsonError {}
 
+/// Maximum container nesting [`Json::parse`] accepts. The parser is
+/// recursive-descent, so unbounded nesting (e.g. a file of 100k `[`s)
+/// would overflow the stack; past this depth it returns a parse error
+/// instead. No legitimate telemetry document nests anywhere near this.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -400,12 +408,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseJsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseJsonError> {
         self.eat(b'[', "expected [")?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -416,6 +434,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.error("expected , or ] in array")),
@@ -425,11 +444,13 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseJsonError> {
         self.eat(b'{', "expected {")?;
+        self.enter()?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         let mut seen: BTreeMap<String, usize> = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(fields));
         }
         loop {
@@ -450,6 +471,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(fields));
                 }
                 _ => return Err(self.error("expected , or } in object")),
@@ -606,6 +628,31 @@ mod tests {
         assert!(Json::parse("nul").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth_instead_of_overflowing() {
+        // Exactly at the limit: fine.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        // One past the limit: a parse error, not a stack overflow.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let err = Json::parse(&deep).expect_err("over-deep arrays must be rejected");
+        assert_eq!(err.message, "nesting too deep");
+        // A pathological unclosed run (the original trace-report crash).
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"a\":".repeat(100_000)).is_err());
+        // Siblings don't accumulate depth: a wide flat document is fine.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -114,3 +114,67 @@ fn golden_lines_parse_back() {
         assert_eq!(event.to_json().to_string(), line, "round-trip is lossless");
     }
 }
+
+#[test]
+fn metrics_snapshot_golden() {
+    use telemetry::metrics::{Counter, Gauge, MetricsSnapshot};
+
+    let mut counters = vec![0u64; Counter::ALL.len()];
+    let mut set = |c: Counter, v: u64| counters[c as usize] = v;
+    set(Counter::Propagations, 100_000);
+    set(Counter::Conflicts, 250);
+    set(Counter::Decisions, 900);
+    set(Counter::Restarts, 3);
+    set(Counter::Reductions, 2);
+    set(Counter::LearnedClauses, 240);
+    set(Counter::DeletedClauses, 120);
+    set(Counter::PropagateNanos, 5_000_000);
+    set(Counter::PropagateCalls, 1_150);
+    set(Counter::AnalyzeNanos, 2_000_000);
+    set(Counter::AnalyzeCalls, 250);
+    set(Counter::ReduceNanos, 300_000);
+    set(Counter::ReduceCalls, 2);
+    set(Counter::PoolExported, 40);
+    set(Counter::PoolImported, 12);
+    set(Counter::Inferences, 4);
+    set(Counter::InferenceNanos, 8_000_000);
+    let mut gauges = vec![f64::NAN; Gauge::ALL.len()];
+    gauges[Gauge::MemoryBytes as usize] = 1_048_576.0;
+    // Gauge::LiveLearned stays unset: it must be absent from the output.
+    gauges[Gauge::InferenceLastSeconds as usize] = 0.002;
+    gauges[Gauge::PolicyConfidence as usize] = 0.875;
+    let snap = MetricsSnapshot::from_parts(3, 1.5, counters, gauges);
+
+    let mut prev_counters = vec![0u64; Counter::ALL.len()];
+    prev_counters[Counter::Propagations as usize] = 50_000;
+    prev_counters[Counter::Conflicts as usize] = 150;
+    prev_counters[Counter::LearnedClauses as usize] = 140;
+    prev_counters[Counter::PoolExported as usize] = 20;
+    prev_counters[Counter::PoolImported as usize] = 2;
+    let prev = MetricsSnapshot::from_parts(2, 0.5, prev_counters, Vec::new());
+
+    assert_eq!(
+        snap.to_json_line(Some(&prev)).to_string(),
+        r#"{"schema_version":2,"event":"metrics_snapshot","seq":3,"elapsed_s":1.5,"counters":{"solver.propagations":100000,"solver.conflicts":250,"solver.decisions":900,"solver.restarts":3,"solver.reductions":2,"solver.learned_clauses":240,"solver.deleted_clauses":120,"phase.propagate_ns":5000000,"phase.propagate_calls":1150,"phase.analyze_ns":2000000,"phase.analyze_calls":250,"phase.reduce_ns":300000,"phase.reduce_calls":2,"pool.exported":40,"pool.imported":12,"pipeline.inferences":4,"pipeline.inference_ns":8000000},"gauges":{"solver.memory_bytes":1048576.0,"pipeline.inference_last_s":0.002,"pipeline.policy_confidence":0.875},"rates":{"solver.propagations_per_sec":50000.0,"solver.conflicts_per_sec":100.0,"solver.learned_clauses_per_sec":100.0,"pool.exported_per_sec":20.0,"pool.imported_per_sec":10.0}}"#
+    );
+
+    // Without a previous snapshot (the sampler's first line, and the
+    // ToJson impl) `rates` is present but empty.
+    let first = snap.to_json_line(None).to_string();
+    assert!(first.ends_with(r#""rates":{}}"#), "{first}");
+    assert_eq!(snap.to_json().to_string(), first);
+
+    // The line is self-describing JSON that parses back.
+    let parsed = Json::parse(&first).expect("snapshot line parses");
+    assert_eq!(
+        parsed.get("event").and_then(Json::as_str),
+        Some("metrics_snapshot")
+    );
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("solver.propagations"))
+            .and_then(Json::as_u64),
+        Some(100_000)
+    );
+}

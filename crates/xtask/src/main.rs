@@ -4,6 +4,7 @@
 //! wire-format manifest. See DESIGN.md for the rule catalogue.
 
 mod lexer;
+mod metrics_names;
 mod rules;
 mod schema;
 
@@ -17,6 +18,7 @@ fn main() -> ExitCode {
     match command {
         "lint" => lint(),
         "schema-update" => schema_update(),
+        "metrics-update" => metrics_update(),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -35,6 +37,8 @@ commands:
   lint           run the project lint rules over all workspace sources
   schema-update  regenerate crates/xtask/telemetry.schema from the
                  telemetry crate's sources
+  metrics-update regenerate crates/xtask/metrics.names from the metric
+                 name tables in crates/telemetry/src/metrics.rs
 ";
 
 /// The workspace root, two levels above this crate's manifest.
@@ -62,6 +66,11 @@ fn lint() -> ExitCode {
     }
 
     if let Err(e) = check_telemetry_schema(&root, &mut diags) {
+        eprintln!("xtask: {e}");
+        return ExitCode::from(2);
+    }
+
+    if let Err(e) = check_metrics_names(&root, &mut diags) {
         eprintln!("xtask: {e}");
         return ExitCode::from(2);
     }
@@ -169,6 +178,48 @@ fn extract_current_schema(root: &Path) -> Result<schema::Schema, String> {
         &read("crates/telemetry/src/sink.rs")?,
     )
     .map_err(|e| e.to_string())
+}
+
+/// Runs the `metrics-names` golden-manifest comparison.
+fn check_metrics_names(root: &Path, diags: &mut Vec<Diagnostic>) -> Result<(), String> {
+    let current = extract_current_metrics(root)?;
+    let manifest_path = root.join("crates/xtask/metrics.names");
+    let manifest_text = std::fs::read_to_string(&manifest_path).map_err(|_| {
+        "crates/xtask/metrics.names is missing; run `cargo run -p xtask -- metrics-update`"
+            .to_string()
+    })?;
+    let manifest = metrics_names::parse_manifest(&manifest_text)?;
+    metrics_names::compare(&current, &manifest, diags);
+    Ok(())
+}
+
+fn extract_current_metrics(root: &Path) -> Result<Vec<metrics_names::MetricName>, String> {
+    let rel = "crates/telemetry/src/metrics.rs";
+    let src =
+        std::fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+    metrics_names::extract(&src)
+}
+
+fn metrics_update() -> ExitCode {
+    let root = workspace_root();
+    let current = match extract_current_metrics(&root) {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = root.join("crates/xtask/metrics.names");
+    match std::fs::write(&path, metrics_names::to_manifest(&current)) {
+        Ok(()) => {
+            println!("wrote {}", relative(&root, &path));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot write metrics.names: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn schema_update() -> ExitCode {

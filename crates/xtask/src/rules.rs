@@ -103,7 +103,22 @@ pub fn lint_file(path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
         no_panic(path, &tokens, &mut found);
         no_index(path, &tokens, &mut found);
         no_hard_assert(path, &tokens, &mut found);
-        trace_feature_gate(path, src, &tokens, &mut found);
+        telemetry_feature_gate(
+            path,
+            src,
+            &tokens,
+            &mut found,
+            "trace",
+            "trace-feature-gate",
+        );
+        telemetry_feature_gate(
+            path,
+            src,
+            &tokens,
+            &mut found,
+            "metrics",
+            "metrics-feature-gate",
+        );
     }
     if is_concurrency_module(path) {
         atomic_ordering(path, &tokens, &mut found);
@@ -235,18 +250,27 @@ fn no_hard_assert(path: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// `trace-feature-gate`: in hot-path modules every `trace::` call site must
-/// sit under a `#[cfg(feature = "trace")]` gate. Elsewhere the tracing API
-/// may rely on its disarmed fast path (one relaxed atomic load), but BCP
-/// and conflict analysis run millions of times per second — default builds
-/// must compile to literally zero tracing code there.
+/// `trace-feature-gate` / `metrics-feature-gate`: in hot-path modules
+/// every `trace::` (resp. `metrics::`) call site must sit under a
+/// `#[cfg(feature = "...")]` gate naming that telemetry feature. Elsewhere
+/// both APIs may rely on their disarmed fast path (one relaxed atomic
+/// load), but BCP and conflict analysis run millions of times per second —
+/// default builds must compile to literally zero telemetry code there.
 ///
 /// The lexer normalizes string literals to `""`, so the attribute's feature
 /// name is confirmed against the raw source lines spanning the attribute.
-fn trace_feature_gate(path: &str, src: &str, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+fn telemetry_feature_gate(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    out: &mut Vec<Diagnostic>,
+    module: &str,
+    rule: &'static str,
+) {
     let lines: Vec<&str> = src.lines().collect();
-    // Pass 1: token ranges gated by `#[cfg(... feature = "trace" ...)]` —
-    // the attribute plus the item or statement it covers (up to the `}`
+    let quoted = format!("\"{module}\"");
+    // Pass 1: token ranges gated by `#[cfg(... feature = "<module>" ...)]`
+    // — the attribute plus the item or statement it covers (up to the `}`
     // closing its first brace, or a `;` outside braces).
     let mut gated: Vec<(usize, usize)> = Vec::new();
     let mut i = 0;
@@ -282,12 +306,12 @@ fn trace_feature_gate(path: &str, src: &str, tokens: &[Token], out: &mut Vec<Dia
         if j >= tokens.len() {
             break;
         }
-        let names_trace = (tokens[start].line..=tokens[j].line).any(|l| {
+        let names_feature = (tokens[start].line..=tokens[j].line).any(|l| {
             lines
                 .get(l as usize - 1)
-                .is_some_and(|raw| raw.contains("\"trace\""))
+                .is_some_and(|raw| raw.contains(quoted.as_str()))
         });
-        if !(saw_cfg && saw_feature_str && names_trace) {
+        if !(saw_cfg && saw_feature_str && names_feature) {
             i = j + 1;
             continue;
         }
@@ -316,19 +340,22 @@ fn trace_feature_gate(path: &str, src: &str, tokens: &[Token], out: &mut Vec<Dia
         gated.push((start, end));
         i = j + 1;
     }
-    // Pass 2: `trace ::` paths outside every gated range.
+    // Pass 2: `<module> ::` paths outside every gated range.
     for (idx, t) in tokens.iter().enumerate() {
-        if t.is_ident("trace")
+        if t.is_ident(module)
             && tokens.get(idx + 1).is_some_and(|n| n.is_punct("::"))
             && !gated.iter().any(|&(s, e)| idx >= s && idx <= e)
         {
             diag(
                 out,
-                "trace-feature-gate",
+                rule,
                 path,
                 t.line,
-                "`trace::` call in a hot-path module outside a `#[cfg(feature = \"trace\")]` \
-                 gate; wrap the statement so default builds keep zero tracing overhead",
+                format!(
+                    "`{module}::` call in a hot-path module outside a \
+                     `#[cfg(feature = {quoted})]` gate; wrap the statement so \
+                     default builds keep zero telemetry overhead"
+                ),
             );
         }
     }
@@ -852,6 +879,29 @@ mod tests {
         // An audited site can be annotated inline.
         let allowed = "fn f() {\n    telemetry::trace::instant(\"x\"); // xtask: allow(trace-feature-gate) cold slow path\n}";
         assert!(run(HOT, allowed).is_empty());
+    }
+
+    #[test]
+    fn metrics_feature_gate_mirrors_the_trace_rule() {
+        let ungated =
+            "fn f(s: &mut Solver) {\n    telemetry::metrics::inc(telemetry::metrics::Counter::Conflicts);\n}";
+        let d = run(HOT, ungated);
+        assert_eq!(
+            rules(&d),
+            vec!["metrics-feature-gate", "metrics-feature-gate"]
+        );
+        assert_eq!(d[0].line, 2);
+        // Outside hot-path modules the registry's disarmed fast path is fine.
+        assert!(run("crates/sat-solver/src/portfolio.rs", ungated).is_empty());
+        // Properly gated statements pass; a cfg naming the *other*
+        // telemetry feature does not count.
+        let gated = "fn f() {\n    #[cfg(feature = \"metrics\")]\n    telemetry::metrics::inc(telemetry::metrics::Counter::Decisions);\n}";
+        assert!(run(HOT, gated).is_empty());
+        let wrong = "fn f() {\n    #[cfg(feature = \"trace\")]\n    telemetry::metrics::inc(telemetry::metrics::Counter::Decisions);\n}";
+        assert_eq!(
+            rules(&run(HOT, wrong)),
+            vec!["metrics-feature-gate", "metrics-feature-gate"]
+        );
     }
 
     #[test]
