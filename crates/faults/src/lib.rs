@@ -350,6 +350,7 @@ pub fn install(plan: FaultPlan) -> FaultScope {
         Err(poisoned) => poisoned.into_inner(),
     };
     let armed = Arc::new(ArmedPlan::arm(plan));
+    // xtask: allow(lock-panic) install/uninstall are serialized by design; cold path, poisoning is recovered above
     let previous = lock_recovering(active_plan()).replace(Arc::clone(&armed));
     FaultScope {
         plan: armed,

@@ -42,6 +42,7 @@ impl FrequencyTable {
     /// Increments `v`'s propagation counter.
     #[inline]
     pub fn bump(&mut self, v: Var) {
+        // xtask: allow(hot-path-purity) bounds audited: the table is sized to the variable universe at construction
         let c = &mut self.counts[v.index() as usize];
         *c += 1;
         self.total += 1;

@@ -294,6 +294,9 @@ impl SharedClausePool {
             glue,
             lits: lits.into(),
         });
+        // Counters and telemetry can block or panic (sink I/O, metrics
+        // asserts): keep them outside the stripe's critical section.
+        drop(stripe);
         self.exported.fetch_add(1, Ordering::Relaxed); // xtask: allow(atomic-ordering) statistics counter
         telemetry::metrics::inc(telemetry::metrics::Counter::PoolExported);
         telemetry::trace::instant_with(

@@ -106,6 +106,8 @@ pub struct Solver {
     seen: VarMap<bool>,
     analyze_toclear: Vec<Var>,
     min_stack: Vec<Lit>,
+    min_visited: Vec<Var>,
+    glue_levels: Vec<u32>,
     proof: Option<ProofLogger>,
     observer: Option<Box<dyn SearchObserver>>,
     /// Opt-in instrumentation; `None` (the default) costs one branch per
@@ -162,6 +164,8 @@ impl Solver {
             seen: VarMap::new(n, false),
             analyze_toclear: Vec::new(),
             min_stack: Vec::new(),
+            min_visited: Vec::new(),
+            glue_levels: Vec::new(),
             proof: None,
             observer: None,
             telemetry: None,
@@ -552,6 +556,7 @@ impl Solver {
         self.assigns.set(v, LBool::from(l.is_positive()));
         self.level.set(v, self.decision_level());
         self.reason.set(v, reason);
+        // xtask: allow(hot-path-purity) amortized: the trail retains its capacity across backtracks
         self.trail.push(l);
         if reason.is_some() {
             // A unit propagation: this is the event counted by the paper's
@@ -604,6 +609,7 @@ impl Solver {
                     if self.value(lk) != LBool::False {
                         self.db.clause_mut(cref).swap_lits(1, k);
                         ws.swap_remove(i);
+                        // xtask: allow(hot-path-purity) amortized: watch lists retain capacity; relocation is a swap between them
                         self.watches.get_mut(!lk).push(Watch {
                             cref,
                             blocker: first,
@@ -633,6 +639,7 @@ impl Solver {
         let analyze_timer = self.telemetry.as_ref().map(|_| Instant::now());
         #[cfg(feature = "trace")]
         let _analyze_span = telemetry::trace::span("analyze");
+        // xtask: allow(hot-path-purity) per-conflict, not per-propagation: the learned clause must be materialized
         let mut learned: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
         let mut counter = 0u32; // literals of the current level not yet resolved
         let mut resolved: Option<Lit> = None;
@@ -661,11 +668,13 @@ impl Solver {
                 let v = q.var();
                 if !self.seen.get(v) && self.level.get(v) > 0 {
                     self.seen.set(v, true);
+                    // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
                     self.analyze_toclear.push(v);
                     self.bump_var(v);
                     if self.level.get(v) >= current_level {
                         counter += 1;
                     } else {
+                        // xtask: allow(hot-path-purity) per-conflict, not per-propagation: the learned clause must be materialized
                         learned.push(q);
                     }
                 }
@@ -704,16 +713,17 @@ impl Solver {
         #[cfg(feature = "trace")]
         let minimize_span = telemetry::trace::span("minimize");
         let before = learned.len();
-        let keep: Vec<Lit> = learned
-            .iter()
-            .skip(1)
-            .copied()
-            .collect::<Vec<_>>()
-            .into_iter()
-            .filter(|&l| !self.lit_redundant(l))
-            .collect();
-        learned.truncate(1);
-        learned.extend(keep);
+        // In-place compaction: `learned` is a local, so `self` stays
+        // freely borrowable for `lit_redundant`; no per-conflict side
+        // buffer is needed.
+        let mut w = 1;
+        for r in 1..learned.len() {
+            if !self.lit_redundant(at(&learned, r)) {
+                learned.swap(w, r);
+                w += 1;
+            }
+        }
+        learned.truncate(w);
         self.stats.minimized_lits += (before - learned.len()) as u64;
         #[cfg(feature = "trace")]
         drop(minimize_span);
@@ -756,11 +766,16 @@ impl Solver {
     }
 
     /// Glue (LBD): number of distinct decision levels among the literals.
-    fn compute_glue(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level.get(l.var())).collect();
+    fn compute_glue(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels = std::mem::take(&mut self.glue_levels);
+        levels.clear();
+        // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
+        levels.extend(lits.iter().map(|l| self.level.get(l.var())));
         levels.sort_unstable();
         levels.dedup();
-        levels.len() as u32
+        let glue = levels.len() as u32;
+        self.glue_levels = levels;
+        glue
     }
 
     /// Whether `l` is redundant in the learned clause: its reason-side
@@ -771,8 +786,10 @@ impl Solver {
             return false; // decisions are never redundant
         }
         self.min_stack.clear();
+        // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
         self.min_stack.push(l);
-        let mut visited: Vec<Var> = Vec::new();
+        let mut visited = std::mem::take(&mut self.min_visited);
+        visited.clear();
         let mut redundant = true;
         while let Some(q) = self.min_stack.pop() {
             let Some(r) = self.reason.get(q.var()) else {
@@ -792,7 +809,9 @@ impl Solver {
                 }
                 // Tentatively mark and descend.
                 self.seen.set(v, true);
+                // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
                 visited.push(v);
+                // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
                 self.min_stack.push(a);
             }
             if !redundant {
@@ -802,12 +821,14 @@ impl Solver {
         if redundant {
             // Keep marks: they are genuinely implied by seen literals and
             // can shortcut later redundancy checks.
-            self.analyze_toclear.extend(visited);
+            // xtask: allow(hot-path-purity) amortized: reused per-solver scratch, no steady-state allocation
+            self.analyze_toclear.append(&mut visited);
         } else {
-            for v in visited {
+            for v in visited.drain(..) {
                 self.seen.set(v, false);
             }
         }
+        self.min_visited = visited;
         redundant
     }
 

@@ -91,7 +91,9 @@ impl PhaseTimes {
     #[inline]
     pub fn add(&mut self, phase: Phase, elapsed: Duration) {
         let i = phase as usize;
+        // xtask: allow(hot-path-purity) enum-indexed fixed arrays: `phase as usize` < `Phase::ALL.len()` by construction
         self.nanos[i] += elapsed.as_nanos() as u64;
+        // xtask: allow(hot-path-purity) enum-indexed fixed arrays: `phase as usize` < `Phase::ALL.len()` by construction
         self.calls[i] += 1;
     }
 
@@ -107,6 +109,7 @@ impl PhaseTimes {
 
     /// Total wall time attributed to `phase`.
     pub fn elapsed(&self, phase: Phase) -> Duration {
+        // xtask: allow(hot-path-purity) enum-indexed fixed arrays: `phase as usize` < `Phase::ALL.len()` by construction
         Duration::from_nanos(self.nanos[phase as usize])
     }
 

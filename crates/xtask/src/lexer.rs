@@ -49,6 +49,11 @@ impl Token {
     pub fn is_punct(&self, text: &str) -> bool {
         self.kind == TokenKind::Punct && self.text == text
     }
+
+    /// Whether this is any identifier (or keyword).
+    pub fn is_ident_kind(&self) -> bool {
+        self.kind == TokenKind::Ident
+    }
 }
 
 /// A lexed source file: the token stream plus the inline lint-suppression

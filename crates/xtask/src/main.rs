@@ -1,9 +1,14 @@
 //! Repository automation tasks. `cargo run -p xtask -- lint` runs the
-//! project-specific static checks over the workspace sources;
-//! `cargo run -p xtask -- schema-update` refreshes the telemetry
-//! wire-format manifest. See DESIGN.md for the rule catalogue.
+//! project-specific static checks over the workspace sources — per-file
+//! token rules plus the interprocedural call-graph rules (transitive
+//! hot-path purity, lock-order); `cargo run -p xtask -- schema-update`
+//! refreshes the telemetry wire-format manifest. See DESIGN.md for the
+//! rule catalogue and §14 for the call-graph model.
 
+mod callgraph;
+mod extract;
 mod lexer;
+mod lockorder;
 mod metrics_names;
 mod rules;
 mod schema;
@@ -16,9 +21,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("lint");
     match command {
-        "lint" => lint(),
+        "lint" => lint(args.iter().any(|a| a == "--json")),
         "schema-update" => schema_update(),
         "metrics-update" => metrics_update(),
+        "callgraph-update" => callgraph_update(),
+        "callgraph" => callgraph_cmd(&args[1..]),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -34,11 +41,18 @@ const USAGE: &str = "\
 usage: cargo run -p xtask -- <command>
 
 commands:
-  lint           run the project lint rules over all workspace sources
-  schema-update  regenerate crates/xtask/telemetry.schema from the
-                 telemetry crate's sources
-  metrics-update regenerate crates/xtask/metrics.names from the metric
-                 name tables in crates/telemetry/src/metrics.rs
+  lint [--json]    run the project lint rules over all workspace sources
+                   (per-file rules + transitive hot-path purity +
+                   lock-order); --json emits one JSON object per finding
+  schema-update    regenerate crates/xtask/telemetry.schema from the
+                   telemetry crate's sources
+  metrics-update   regenerate crates/xtask/metrics.names from the metric
+                   name tables in crates/telemetry/src/metrics.rs
+  callgraph-update regenerate the crates/xtask/callgraph.facts golden
+                   manifest from the current sources
+  callgraph --dot FN
+                   print the Graphviz subgraph reachable from fns
+                   matching FN (exact id, `::`-suffix, or bare name)
 ";
 
 /// The workspace root, two levels above this crate's manifest.
@@ -50,66 +64,268 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint() -> ExitCode {
+/// Per-file output of the parallel lex/lint/extract stage.
+struct FileResult {
+    rel: String,
+    diags: Vec<Diagnostic>,
+    facts: extract::FileFacts,
+    allows: Vec<(u32, String)>,
+}
+
+/// Lexes, lints, and extracts one file (runs on a worker thread).
+fn process_file(root: &Path, file: &Path) -> Result<FileResult, String> {
+    let rel = relative(root, file);
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+    let lexed = lexer::lex(&src);
+    let tokens = lexer::strip_test_items(&lexed.tokens);
+    let mut diags = Vec::new();
+    rules::lint_lexed(&rel, &src, &lexed, &tokens, &mut diags);
+    let facts = extract::extract_file(&rel, &src, tokens);
+    Ok(FileResult {
+        rel,
+        diags,
+        facts,
+        allows: lexed.allows,
+    })
+}
+
+/// Runs the per-file stage across all sources with scoped threads. The
+/// file list is split into contiguous chunks (one per worker), and the
+/// chunk results are concatenated in spawn order, so the output is
+/// deterministic regardless of scheduling.
+fn process_all(root: &Path, files: &[PathBuf]) -> Result<Vec<FileResult>, String> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8);
+    if workers == 1 || files.len() < 2 {
+        return files.iter().map(|f| process_file(root, f)).collect();
+    }
+    let chunk = files.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = files
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || slice.iter().map(|f| process_file(root, f)).collect()))
+            .collect();
+        let mut out = Vec::with_capacity(files.len());
+        for h in handles {
+            let chunk_results: Vec<Result<FileResult, String>> = h
+                .join()
+                .map_err(|_| "lint worker thread panicked".to_string())?;
+            for r in chunk_results {
+                out.push(r?);
+            }
+        }
+        Ok(out)
+    })
+}
+
+fn lint(json: bool) -> ExitCode {
     let root = workspace_root();
     let mut diags: Vec<Diagnostic> = Vec::new();
 
-    for file in collect_sources(&root) {
-        let rel = relative(&root, &file);
-        match std::fs::read_to_string(&file) {
-            Ok(src) => rules::lint_file(&rel, &src, &mut diags),
-            Err(e) => {
-                eprintln!("xtask: cannot read {rel}: {e}");
-                return ExitCode::from(2);
-            }
+    let results = match process_all(&root, &collect_sources(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
         }
+    };
+    let mut allow_map = callgraph::AllowMap::new();
+    let mut facts = Vec::with_capacity(results.len());
+    for r in results {
+        diags.extend(r.diags);
+        if !r.allows.is_empty() {
+            allow_map.insert(r.rel.clone(), r.allows);
+        }
+        facts.push(r.facts);
     }
 
-    if let Err(e) = check_telemetry_schema(&root, &mut diags) {
-        eprintln!("xtask: {e}");
-        return ExitCode::from(2);
-    }
+    // Interprocedural rules over the assembled call graph.
+    let graph = callgraph::Graph::build(facts);
+    callgraph::hot_path_purity(&graph, &allow_map, &mut diags);
+    lockorder::lock_analysis(&graph, &allow_map, &mut diags);
 
-    if let Err(e) = check_metrics_names(&root, &mut diags) {
-        eprintln!("xtask: {e}");
-        return ExitCode::from(2);
-    }
-
-    // File-level allowlist.
-    let allow_path = root.join("crates/xtask/lint.allow");
-    let stale = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => match rules::parse_allowlist(&text) {
-            Ok(entries) => rules::apply_allowlist(&mut diags, &entries),
+    // Golden manifests: call-graph facts, telemetry schema, metric names.
+    let facts_path = root.join("crates/xtask/callgraph.facts");
+    match std::fs::read_to_string(&facts_path) {
+        Ok(text) => match callgraph::parse_manifest(&text) {
+            Ok(manifest) => callgraph::compare(&graph, &manifest, &mut diags),
             Err(e) => {
                 eprintln!("xtask: {e}");
                 return ExitCode::from(2);
             }
         },
-        Err(_) => Vec::new(), // no allowlist file: nothing suppressed
+        Err(_) => {
+            eprintln!(
+                "xtask: crates/xtask/callgraph.facts is missing; run \
+                 `cargo run -p xtask -- callgraph-update`"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = check_telemetry_schema(&root, &mut diags) {
+        eprintln!("xtask: {e}");
+        return ExitCode::from(2);
+    }
+    if let Err(e) = check_metrics_names(&root, &mut diags) {
+        eprintln!("xtask: {e}");
+        return ExitCode::from(2);
+    }
+
+    // File-level allowlist. Entries pointing at files that no longer
+    // exist are hard errors (a dead suppression hides nothing today but
+    // will silently re-arm if the path comes back), distinct from stale
+    // entries whose file exists but whose diagnostic is gone.
+    let allow_path = root.join("crates/xtask/lint.allow");
+    let (stale, dead) = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match rules::parse_allowlist(&text) {
+            Ok(entries) => {
+                let (live, dead): (Vec<_>, Vec<_>) = entries
+                    .into_iter()
+                    .partition(|e| root.join(&e.path).exists());
+                (rules::apply_allowlist(&mut diags, &live), dead)
+            }
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => (Vec::new(), Vec::new()), // no allowlist file
     };
 
     diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let println_or_json = |d: &Diagnostic| {
+        if json {
+            println!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(d.rule),
+                json_escape(&d.path),
+                d.line,
+                json_escape(&d.message)
+            );
+        } else {
+            println!("{d}");
+        }
+    };
     for d in &diags {
-        println!("{d}");
+        println_or_json(d);
     }
-    for e in &stale {
-        println!(
-            "crates/xtask/lint.allow: stale entry `{} {}{}` matches nothing; remove it",
+    for e in &dead {
+        let msg = format!(
+            "dead entry `{} {}{}`: the file does not exist; remove the entry",
             e.rule,
             e.path,
             e.line.map(|l| format!(":{l}")).unwrap_or_default()
         );
+        println_or_json(&Diagnostic {
+            rule: "dead-allow",
+            path: "crates/xtask/lint.allow".to_string(),
+            line: 1,
+            message: msg,
+        });
     }
-    if diags.is_empty() && stale.is_empty() {
-        println!("xtask lint: clean");
+    for e in &stale {
+        let msg = format!(
+            "stale entry `{} {}{}` matches nothing; remove it",
+            e.rule,
+            e.path,
+            e.line.map(|l| format!(":{l}")).unwrap_or_default()
+        );
+        println_or_json(&Diagnostic {
+            rule: "stale-allow",
+            path: "crates/xtask/lint.allow".to_string(),
+            line: 1,
+            message: msg,
+        });
+    }
+    let total = diags.len() + stale.len() + dead.len();
+    if total == 0 {
+        eprintln!("xtask lint: clean");
         ExitCode::SUCCESS
     } else {
-        println!(
-            "xtask lint: {} violation(s), {} stale allowlist entr(ies)",
+        eprintln!(
+            "xtask lint: {} violation(s), {} stale / {} dead allowlist entr(ies)",
             diags.len(),
-            stale.len()
+            stale.len(),
+            dead.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the call graph from the current sources (no lint rules).
+fn build_graph(root: &Path) -> Result<callgraph::Graph, String> {
+    let results = process_all(root, &collect_sources(root))?;
+    Ok(callgraph::Graph::build(
+        results.into_iter().map(|r| r.facts).collect(),
+    ))
+}
+
+fn callgraph_update() -> ExitCode {
+    let root = workspace_root();
+    let graph = match build_graph(&root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = root.join("crates/xtask/callgraph.facts");
+    match std::fs::write(&path, callgraph::to_manifest(&graph)) {
+        Ok(()) => {
+            println!("wrote {}", relative(&root, &path));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: cannot write callgraph.facts: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn callgraph_cmd(args: &[String]) -> ExitCode {
+    let pattern = match args {
+        [flag, fn_name] if flag == "--dot" => fn_name,
+        _ => {
+            eprintln!("xtask: usage: cargo run -p xtask -- callgraph --dot FN");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root();
+    let graph = match build_graph(&root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match callgraph::dot(&graph, pattern) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 

@@ -6,7 +6,9 @@
 //! `crates/xtask/lint.allow` (for grandfathered files). The shipped tree is
 //! expected to lint clean with a near-empty allowlist.
 
-use crate::lexer::{lex, strip_test_items, Lexed, Token, TokenKind};
+#[cfg(test)]
+use crate::lexer::{lex, strip_test_items};
+use crate::lexer::{Lexed, Token, TokenKind};
 
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,51 +96,58 @@ fn is_lib_source(path: &str) -> bool {
 
 /// Lints one source file, appending findings to `diags`. Inline
 /// `xtask: allow` annotations are honored here; the file-level allowlist is
-/// applied by the caller.
+/// applied by the caller. (The driver lexes once and calls [`lint_lexed`];
+/// this convenience wrapper is for tests.)
+#[cfg(test)]
 pub fn lint_file(path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
     let lexed = lex(src);
     let tokens = strip_test_items(&lexed.tokens);
+    lint_lexed(path, src, &lexed, &tokens, diags);
+}
+
+/// Pre-lexed variant of [`lint_file`], so the driver can lex each file
+/// once and share the token stream with the call-graph extractor.
+pub fn lint_lexed(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    tokens: &[Token],
+    diags: &mut Vec<Diagnostic>,
+) {
     let mut found = Vec::new();
     if is_hot_path(path) {
-        no_panic(path, &tokens, &mut found);
-        no_index(path, &tokens, &mut found);
-        no_hard_assert(path, &tokens, &mut found);
+        no_panic(path, tokens, &mut found);
+        no_index(path, tokens, &mut found);
+        no_hard_assert(path, tokens, &mut found);
+        telemetry_feature_gate(path, src, tokens, &mut found, "trace", "trace-feature-gate");
         telemetry_feature_gate(
             path,
             src,
-            &tokens,
-            &mut found,
-            "trace",
-            "trace-feature-gate",
-        );
-        telemetry_feature_gate(
-            path,
-            src,
-            &tokens,
+            tokens,
             &mut found,
             "metrics",
             "metrics-feature-gate",
         );
     }
     if is_concurrency_module(path) {
-        atomic_ordering(path, &tokens, &mut found);
+        atomic_ordering(path, tokens, &mut found);
     }
     if is_solver_crate_src(path) {
-        no_hash_iter(path, &tokens, &mut found);
+        no_hash_iter(path, tokens, &mut found);
     }
     if path.contains("/src/") {
-        no_float_eq(path, &tokens, &mut found);
+        no_float_eq(path, tokens, &mut found);
     }
     if path != UNWIND_MODULE {
-        no_unwind_escape(path, &tokens, &mut found);
+        no_unwind_escape(path, tokens, &mut found);
     }
     if is_lib_source(path) {
-        pub_docs(path, &tokens, &mut found);
+        pub_docs(path, tokens, &mut found);
     }
     if path.ends_with("/src/lib.rs") {
-        unsafe_forbidden(path, &tokens, &mut found);
+        unsafe_forbidden(path, tokens, &mut found);
     }
-    apply_inline_allows(&lexed, &mut found);
+    apply_inline_allows(lexed, &mut found);
     diags.extend(found);
 }
 
