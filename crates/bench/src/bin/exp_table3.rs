@@ -12,21 +12,130 @@
 //! NeuroSelect run each emit one telemetry `RunRecord` JSON line per
 //! instance (the NeuroSelect records carry `inference_time_s` and the
 //! pipeline phases).
+//!
+//! The run ends with an **inprocessing ablation** on structured UNSAT
+//! families (Tseitin expanders and equivalence miters): the same
+//! instances solved with in-search inprocessing off and on, reporting
+//! wall-clock and propagation totals. `--inprocess-ablation-only 1`
+//! skips the training pipeline and prints just that table.
 
 use bench::{
     dataset_config, labeled_test_set, labeled_training_set, percentile_line, print_table, ExpArgs,
     RecordLog,
 };
 use neuro::NeuroSelectConfig;
-use neuroselect::sat_solver::{solve_with_policy, solve_with_policy_recorded, PolicyKind};
+use neuroselect::sat_solver::{
+    solve_with_policy, solve_with_policy_recorded, PolicyKind, Solver, SolverConfig,
+};
 use neuroselect::{
     calibrate_threshold, train, Budget, LabelingConfig, NeuroSelectClassifier, NeuroSelectSolver,
     RuntimeSummary, TrainConfig,
 };
 use std::time::Instant;
 
+/// One timed solve for the inprocessing ablation.
+struct AblationRun {
+    solved: bool,
+    seconds: f64,
+    propagations: u64,
+}
+
+fn ablation_solve(f: &cnf::Cnf, inprocess: bool, interval: u64, budget: Budget) -> AblationRun {
+    let mut s = Solver::new(
+        f,
+        SolverConfig {
+            inprocess,
+            inprocess_interval: interval,
+            ..SolverConfig::default()
+        },
+    );
+    let t = Instant::now();
+    let r = s.solve_with_budget(budget);
+    AblationRun {
+        solved: !r.is_unknown(),
+        seconds: t.elapsed().as_secs_f64(),
+        propagations: s.stats().propagations,
+    }
+}
+
+/// Inprocessing on/off comparison over the structured UNSAT families the
+/// engine targets: Tseitin expander parities (subsumption/vivification
+/// shorten the long parity-derived learned clauses) and equivalence
+/// miters (BVE eliminates low-occurrence gate variables).
+fn inprocessing_ablation(args: &ExpArgs) {
+    let budget = Budget::propagations(args.get("budget", 200_000_000u64));
+    let interval: u64 = args.get("inprocess-every", 10);
+    let miter_seeds: u64 = args.get("miter-seeds", 3);
+    let miter_inputs: usize = args.get("miter-inputs", 16);
+    let miter_gates: usize = args.get("miter-gates", 1500);
+    let tseitin_sizes: Vec<(u32, u64)> = vec![(26, 3), (30, 1), (32, 2)];
+    let mut families: Vec<(String, cnf::Cnf)> = Vec::new();
+    for (vertices, seed) in tseitin_sizes {
+        families.push((
+            format!("tseitin-exp-{vertices}-{seed}"),
+            neuroselect::sat_gen::tseitin_expander_unsat(vertices, seed),
+        ));
+    }
+    for seed in 1..=miter_seeds {
+        let spec = logic_circuit::RandomCircuitSpec {
+            num_inputs: miter_inputs,
+            num_gates: miter_gates,
+            num_outputs: 4,
+        };
+        families.push((
+            format!("miter-{miter_inputs}-{miter_gates}-{seed}"),
+            neuroselect::sat_gen::equivalence_miter_cnf(spec, seed),
+        ));
+    }
+
+    println!(
+        "\nInprocessing ablation (off vs. on, interval {interval}) on structured UNSAT families\n"
+    );
+    let mut rows = Vec::new();
+    let (mut off_total, mut on_total) = (0.0f64, 0.0f64);
+    let (mut off_solved, mut on_solved) = (0usize, 0usize);
+    for (name, f) in &families {
+        let off = ablation_solve(f, false, interval, budget);
+        let on = ablation_solve(f, true, interval, budget);
+        off_total += off.seconds;
+        on_total += on.seconds;
+        off_solved += usize::from(off.solved);
+        on_solved += usize::from(on.solved);
+        rows.push(vec![
+            name.clone(),
+            format!("{}/{}", u8::from(off.solved), u8::from(on.solved)),
+            format!("{}", off.propagations),
+            format!("{}", on.propagations),
+            format!("{:.3}", off.seconds),
+            format!("{:.3}", on.seconds),
+            format!("{:+.1}%", 100.0 * (off.seconds - on.seconds) / off.seconds),
+        ]);
+    }
+    print_table(
+        &[
+            "instance",
+            "solved off/on",
+            "props off",
+            "props on",
+            "wall off s",
+            "wall on s",
+            "wall win",
+        ],
+        &rows,
+    );
+    println!(
+        "\ninprocessing totals: {off_solved} solved in {off_total:.3}s off, \
+         {on_solved} solved in {on_total:.3}s on ({:+.1}% wall-clock)",
+        100.0 * (off_total - on_total) / off_total
+    );
+}
+
 fn main() {
     let args = ExpArgs::from_env();
+    if args.get("inprocess-ablation-only", 0u64) == 1 {
+        inprocessing_ablation(&args);
+        return;
+    }
     let config = dataset_config(&args);
     let label_cfg = LabelingConfig::default();
     let budget = Budget::propagations(args.get("budget", 20_000_000u64));
@@ -181,4 +290,5 @@ fn main() {
         "median-propagation change vs. default: {improvement:+.1}% \
          (paper reports a 5.8% median-runtime reduction for NeuroSelect-Kissat)"
     );
+    inprocessing_ablation(&args);
 }

@@ -81,6 +81,14 @@ pub mod site {
     /// Panic inside the static-feature fallback heuristic (exercises the
     /// final default-policy link of the fallback chain).
     pub const HEURISTIC_PANIC: &str = "heuristic-panic";
+    /// Corrupt an inprocessing round once the solver's round counter
+    /// reaches `at`: the engine detects the corruption up front and must
+    /// degrade to a clean skip (param: `at` — the round counter).
+    pub const INPROCESS_CORRUPT: &str = "inprocess-corrupt";
+    /// Stall an inprocessing round once the solver's round counter reaches
+    /// `at`: the round's step budget collapses, forcing a mid-round abort
+    /// that must leave the solver consistent (param: `at`).
+    pub const INPROCESS_STALL: &str = "inprocess-stall";
 }
 
 /// One armed fault: a site name, match/config parameters, and a shot

@@ -69,6 +69,10 @@ struct Options {
     check_level: Option<CheckLevel>,
     stats: bool,
     preprocess: bool,
+    /// In-search inprocessing rounds (subsumption, bounded variable
+    /// elimination, vivification): `Some(interval)` runs a round every
+    /// `interval` restarts.
+    inprocess: Option<u64>,
     stats_json: Option<String>,
     progress: Option<f64>,
     portfolio: Option<usize>,
@@ -93,6 +97,7 @@ fn usage() -> ! {
          \x20             [--conflicts N] [--propagations N] [--proof FILE.drat]\n\
          \x20             [--timeout SECS] [--mem-limit MB]\n\
          \x20             [--check-proof] [--check[=off|light|full]] [--preprocess]\n\
+         \x20             [--inprocess[=EVERY]]\n\
          \x20             [--no-stats] [--stats-json FILE.jsonl] [--progress SECS]\n\
          \x20             [--portfolio[=N]] [--seed N] [--fault-plan PLAN]\n\
          \x20             [--trace-out FILE.json]\n\
@@ -159,6 +164,7 @@ fn parse_args() -> Options {
     let mut check_level = None;
     let mut stats = true;
     let mut preprocess = false;
+    let mut inprocess = None;
     let mut stats_json = None;
     let mut progress = None;
     let mut portfolio = None;
@@ -256,6 +262,18 @@ fn parse_args() -> Options {
             "--stats" => stats = true, // default; kept for compatibility
             "--no-stats" => stats = false,
             "--preprocess" => preprocess = true,
+            // `--inprocess` uses the config default interval;
+            // `--inprocess=N` runs a round every N restarts.
+            "--inprocess" => inprocess = Some(SolverConfig::default().inprocess_interval),
+            n if n.starts_with("--inprocess=") => {
+                let every: u64 = n["--inprocess=".len()..]
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if every == 0 {
+                    usage()
+                }
+                inprocess = Some(every);
+            }
             "--stats-json" => stats_json = Some(args.next().unwrap_or_else(|| usage())),
             "--progress" => {
                 let secs: f64 = args
@@ -306,6 +324,7 @@ fn parse_args() -> Options {
         check_level,
         stats,
         preprocess,
+        inprocess,
         stats_json,
         progress,
         portfolio,
@@ -636,7 +655,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut solver = Solver::new(&search_formula, SolverConfig::with_policy(opts.policy));
+    let mut solver_config = SolverConfig::with_policy(opts.policy);
+    if let Some(every) = opts.inprocess {
+        solver_config.inprocess = true;
+        solver_config.inprocess_interval = every;
+        println!("c inprocessing enabled (rounds every {every} restarts)");
+    }
+    let mut solver = Solver::new(&search_formula, solver_config);
     if opts.proof_path.is_some() || check_proof_on_unsat {
         solver.enable_proof();
     }
@@ -717,6 +742,19 @@ fn main() -> ExitCode {
             s.learned_clauses,
             s.deleted_clauses
         );
+        if let Some(ip) = solver.inprocess_stats() {
+            println!(
+                "c inprocess rounds {} (skipped {}, aborted {}) | subsumed {} | \
+                 strengthened {} | eliminated {} | vivified {}",
+                ip.rounds,
+                ip.skipped_rounds,
+                ip.aborted_rounds,
+                ip.subsumed,
+                ip.strengthened,
+                ip.eliminated_vars,
+                ip.vivified
+            );
+        }
     }
 
     if let Some(tel) = solver.take_telemetry() {
@@ -727,6 +765,7 @@ fn main() -> ExitCode {
                 Phase::Minimize,
                 Phase::Reduce,
                 Phase::Restart,
+                Phase::Inprocess,
             ] {
                 let calls = tel.phases().calls(phase);
                 if calls > 0 {
@@ -810,6 +849,11 @@ fn run_portfolio(formula: &cnf::Cnf, opts: &Options, workers: usize) -> ExitCode
     let check_on_unsat = opts.check || opts.check_level.is_some();
     let mut base = SolverConfig::with_policy(opts.policy);
     base.seed = opts.seed;
+    if let Some(every) = opts.inprocess {
+        base.inprocess = true;
+        base.inprocess_interval = every;
+        println!("c inprocessing enabled in every worker (rounds every {every} restarts)");
+    }
     let mut config = PortfolioConfig::new(workers);
     config.base = base;
     config.budget = armed_budget(opts);

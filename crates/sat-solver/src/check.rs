@@ -25,10 +25,10 @@ use std::fmt;
 pub enum CheckLevel {
     /// No in-search auditing (checkpoints are skipped entirely).
     Off,
-    /// Audit at [`Checkpoint::PostReduce`] and [`Checkpoint::PostBackjump`]
-    /// only — the events rare enough to audit at full strength without
-    /// changing the solver's asymptotics. The default when the `checks`
-    /// feature is enabled.
+    /// Audit at [`Checkpoint::PostReduce`], [`Checkpoint::PostBackjump`],
+    /// and [`Checkpoint::PostInprocess`] only — the events rare enough to
+    /// audit at full strength without changing the solver's asymptotics.
+    /// The default when the `checks` feature is enabled.
     #[default]
     Light,
     /// Audit at every checkpoint, including after every propagation
@@ -44,7 +44,7 @@ impl CheckLevel {
             CheckLevel::Off => false,
             CheckLevel::Light => matches!(
                 checkpoint,
-                Checkpoint::PostReduce | Checkpoint::PostBackjump
+                Checkpoint::PostReduce | Checkpoint::PostBackjump | Checkpoint::PostInprocess
             ),
             CheckLevel::Full => true,
         }
@@ -362,7 +362,9 @@ impl Audit<'_> {
             );
         }
         for v in (0..s.num_vars).map(Var::new) {
-            if !s.assigns.get(v).is_assigned() && !s.heap.contains(v) {
+            // Variables eliminated by inprocessing are dropped from the
+            // heap at decision time and never re-inserted.
+            if !s.assigns.get(v).is_assigned() && !s.heap.contains(v) && !s.var_is_eliminated(v) {
                 return self.fail(
                     "heap-holds-unassigned",
                     format!("unassigned variable {} missing from the heap", v.index()),
@@ -492,6 +494,46 @@ impl Audit<'_> {
         }
         Ok(())
     }
+
+    /// Inprocessing-engine integrity: no live clause references a variable
+    /// eliminated by bounded variable elimination (the occurrence-list
+    /// invariant — an eliminated variable's occurrences are empty), the
+    /// reconstruction stack carries one distinct pivot per eliminated
+    /// variable, and the touched queue agrees with its flags.
+    fn inprocess(&self) -> Result<(), CheckError> {
+        let s = self.s;
+        let Some(eng) = &s.inprocess else {
+            return Ok(());
+        };
+        for cref in s.db.iter_refs() {
+            for &l in s.db.clause(cref).lits() {
+                if eng.is_eliminated(l.var()) {
+                    return self.fail(
+                        "inprocess-eliminated-unreferenced",
+                        format!(
+                            "live clause {cref:?} references eliminated variable {}",
+                            l.var().index()
+                        ),
+                    );
+                }
+            }
+        }
+        for (pivot, _) in eng.reconstruction_steps() {
+            if s.assigns.get(pivot.var()).is_assigned() {
+                return self.fail(
+                    "inprocess-eliminated-unassigned",
+                    format!(
+                        "eliminated variable {} is on the trail",
+                        pivot.var().index()
+                    ),
+                );
+            }
+        }
+        if let Err(detail) = eng.audit(s.num_vars) {
+            return self.fail("inprocess-reconstruction-stack", detail);
+        }
+        Ok(())
+    }
 }
 
 impl Solver {
@@ -515,6 +557,7 @@ impl Solver {
         audit.orderings()?;
         audit.frequencies()?;
         audit.clause_db()?;
+        audit.inprocess()?;
         Ok(())
     }
 
@@ -653,6 +696,7 @@ mod tests {
         assert!(!CheckLevel::Off.covers(Checkpoint::PostReduce));
         assert!(CheckLevel::Light.covers(Checkpoint::PostReduce));
         assert!(CheckLevel::Light.covers(Checkpoint::PostBackjump));
+        assert!(CheckLevel::Light.covers(Checkpoint::PostInprocess));
         assert!(!CheckLevel::Light.covers(Checkpoint::PostPropagate));
         assert!(!CheckLevel::Light.covers(Checkpoint::PostLearn));
         assert!(CheckLevel::Full.covers(Checkpoint::PostLearn));

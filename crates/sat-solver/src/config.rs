@@ -46,6 +46,15 @@ pub struct SolverConfig {
     pub initial_phase: bool,
     /// Random seed (reserved for randomized decision tie-breaking).
     pub seed: u64,
+    /// Enables in-search inprocessing rounds (subsumption, self-subsuming
+    /// resolution, bounded variable elimination, vivification) at restart
+    /// boundaries. Off by default: the perf-trajectory gate pins the
+    /// default configuration's search exactly, and inprocessing reshapes
+    /// the clause database mid-search.
+    pub inprocess: bool,
+    /// When inprocessing is enabled, a round runs once this many restarts
+    /// have elapsed since the previous round.
+    pub inprocess_interval: u64,
 }
 
 impl Default for SolverConfig {
@@ -62,6 +71,8 @@ impl Default for SolverConfig {
             reduce_fraction: 0.5,
             initial_phase: false,
             seed: 0,
+            inprocess: false,
+            inprocess_interval: 10,
         }
     }
 }

@@ -40,6 +40,7 @@ mod clause_db;
 mod config;
 mod freq;
 mod heap;
+mod inprocess;
 mod instrument;
 mod lbool;
 mod observer;
@@ -56,6 +57,7 @@ mod vmtf;
 pub use check::{CheckError, CheckLevel};
 pub use config::{Budget, SolveResult, SolverConfig, SolverStats, StopCause};
 pub use freq::FrequencyTable;
+pub use inprocess::InprocessStats;
 pub use instrument::SolverTelemetry;
 pub use lbool::LBool;
 pub use observer::{GlueTrace, NullObserver, SearchObserver};

@@ -330,6 +330,13 @@ pub fn preprocess(formula: &Cnf, config: &PreprocessConfig) -> Preprocessed {
         }
 
         // --- pure literals --------------------------------------------
+        // Saturate top-level units first: purity is judged from the
+        // occurrence lists, and a pending unit still hides clauses that
+        // propagation is about to remove (or strengthen), so counting
+        // occurrences before the fixpoint could mislabel a literal pure.
+        if !st.propagate() {
+            return Preprocessed::Unsat;
+        }
         for v in 0..st.assignment.len() {
             if st.assignment[v].is_some() {
                 continue;
@@ -568,6 +575,55 @@ mod tests {
         let f = cnf_of(&[&[1, 2], &[-1, 2, 3], &[-2, 4], &[-4, -2, 1]]);
         let m = roundtrip(&f).expect("sat");
         assert!(verify_model(&f, &m).is_ok());
+    }
+
+    #[test]
+    fn pending_units_do_not_mislabel_pure_literals() {
+        // Regression for the unit-saturation/pure-literal ordering: the
+        // unit x1 is about to delete (1 2) and strengthen (−1 −2 3) to
+        // (−2 3); only after that fixpoint is x2's purity (negative-only)
+        // visible. Judged before saturation, x2 looks mixed-polarity.
+        let f = cnf_of(&[&[1], &[1, 2], &[-1, -2, 3], &[-2, -3]]);
+        let m = roundtrip(&f).expect("sat");
+        assert!(verify_model(&f, &m).is_ok());
+    }
+
+    // Regression proptest pinning the preprocessing contract on random
+    // unit-heavy formulas: the simplified formula is equisatisfiable, and
+    // on SAT the reconstruction round-trips to a model of the original.
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+            #[test]
+            fn preprocess_equisatisfiable_and_reconstructs(
+                raw in proptest::collection::vec(
+                    proptest::collection::vec(-6i32..=6, 1..4),
+                    1..24,
+                )
+            ) {
+                let mut f = Cnf::new(0);
+                for c in &raw {
+                    // 0 is not a literal in the DIMACS encoding; dropping
+                    // it biases toward the short, unit-heavy clauses this
+                    // regression targets.
+                    let c: Vec<i32> = c.iter().copied().filter(|&l| l != 0).collect();
+                    if !c.is_empty() {
+                        f.add_dimacs(&c);
+                    }
+                }
+                let expected_sat = crate::Solver::from_cnf(&f).solve().is_sat();
+                match roundtrip(&f) {
+                    Some(m) => {
+                        prop_assert!(expected_sat, "preprocessing flipped UNSAT to SAT");
+                        prop_assert!(verify_model(&f, &m).is_ok(), "bad reconstruction");
+                    }
+                    None => prop_assert!(!expected_sat, "preprocessing flipped SAT to UNSAT"),
+                }
+            }
+        }
     }
 }
 

@@ -127,6 +127,36 @@ pub(crate) fn inject_pool_corruption(
     None
 }
 
+/// Fault point [`faults::site::INPROCESS_CORRUPT`]: reports the engine's
+/// working state as corrupt once the round counter reaches the armed
+/// threshold. The engine must skip the round cleanly.
+#[cfg(feature = "faults")]
+#[inline]
+pub(crate) fn inject_inprocess_corruption(round: u64) -> bool {
+    faults::fire(faults::site::INPROCESS_CORRUPT, &[("at", round)]).is_some()
+}
+
+#[cfg(not(feature = "faults"))]
+#[inline]
+pub(crate) fn inject_inprocess_corruption(_round: u64) -> bool {
+    false
+}
+
+/// Fault point [`faults::site::INPROCESS_STALL`]: collapses the round's
+/// step budget once the round counter reaches the armed threshold,
+/// forcing a mid-round abort that must leave the solver consistent.
+#[cfg(feature = "faults")]
+#[inline]
+pub(crate) fn inject_inprocess_stall(round: u64) -> bool {
+    faults::fire(faults::site::INPROCESS_STALL, &[("at", round)]).is_some()
+}
+
+#[cfg(not(feature = "faults"))]
+#[inline]
+pub(crate) fn inject_inprocess_stall(_round: u64) -> bool {
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

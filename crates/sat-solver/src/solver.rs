@@ -85,7 +85,7 @@ pub struct Solver {
     pub(crate) activity: VarMap<f64>,
     var_inc: f64,
     pub(crate) heap: VarHeap,
-    saved_phase: VarMap<bool>,
+    pub(crate) saved_phase: VarMap<bool>,
     pub(crate) vmtf: VmtfQueue,
     rng_state: u64,
     pub(crate) freq: FrequencyTable,
@@ -94,12 +94,12 @@ pub struct Solver {
     restart: RestartScheduler,
     cla_inc: f64,
     reduce_limit: usize,
-    stats: SolverStats,
+    pub(crate) stats: SolverStats,
     pub(crate) config: SolverConfig,
     /// False once unsatisfiability was established at level 0.
-    ok: bool,
+    pub(crate) ok: bool,
     /// Assumptions for the current `solve_with_assumptions` call.
-    assumptions: Vec<Lit>,
+    pub(crate) assumptions: Vec<Lit>,
     /// The failed-assumption core of the last assumption-UNSAT result.
     core: Vec<Lit>,
     // conflict-analysis scratch space
@@ -108,7 +108,7 @@ pub struct Solver {
     min_stack: Vec<Lit>,
     min_visited: Vec<Var>,
     glue_levels: Vec<u32>,
-    proof: Option<ProofLogger>,
+    pub(crate) proof: Option<ProofLogger>,
     observer: Option<Box<dyn SearchObserver>>,
     /// Opt-in instrumentation; `None` (the default) costs one branch per
     /// hook site and nothing else.
@@ -123,7 +123,11 @@ pub struct Solver {
     rejected_imports: u64,
     /// Clause-sharing channel for portfolio solving; `None` (the default)
     /// costs one branch per learned clause and per restart.
-    exchange: Option<Box<dyn ClauseExchange>>,
+    pub(crate) exchange: Option<Box<dyn ClauseExchange>>,
+    /// In-search inprocessing engine (see `inprocess.rs`); `None` unless
+    /// `SolverConfig::inprocess` is set, costing one branch per restart
+    /// and per learned clause.
+    pub(crate) inprocess: Option<Box<crate::inprocess::InprocessEngine>>,
     /// In-search invariant auditing level (see `check.rs`); `Off` costs one
     /// branch per checkpoint. Only present with the `checks` feature.
     #[cfg(feature = "checks")]
@@ -173,9 +177,13 @@ impl Solver {
             stop_cause: None,
             rejected_imports: 0,
             exchange: None,
+            inprocess: None,
             #[cfg(feature = "checks")]
             check_level: crate::check::CheckLevel::default(),
         };
+        if solver.config.inprocess {
+            solver.inprocess = Some(Box::new(crate::inprocess::InprocessEngine::new(n)));
+        }
         for v in 0..n {
             solver.heap.insert(Var::new(v), &solver.activity);
         }
@@ -467,6 +475,11 @@ impl Solver {
     /// the level-0 units themselves are logged learned clauses.
     fn import_clause(&mut self, lits: &[Lit], glue: u32) {
         debug_assert_eq!(self.decision_level(), 0);
+        if self.inprocess_rejects_import(lits) {
+            // The clause mentions a variable this solver eliminated by
+            // inprocessing; re-attaching it would resurrect the variable.
+            return;
+        }
         let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
             if l.var().index() >= self.num_vars {
@@ -523,7 +536,7 @@ impl Solver {
     }
 
     /// Attaches watches for the first two literals of the clause.
-    fn attach(&mut self, cref: ClauseRef) {
+    pub(crate) fn attach(&mut self, cref: ClauseRef) {
         let c = self.db.clause(cref);
         debug_assert!(c.len() >= 2);
         let l0 = c.lit(0);
@@ -533,7 +546,7 @@ impl Solver {
     }
 
     /// Detaches both watches of the clause.
-    fn detach(&mut self, cref: ClauseRef) {
+    pub(crate) fn detach(&mut self, cref: ClauseRef) {
         debug_assert!(self.db.is_live(cref), "detach of a deleted clause");
         let c = self.db.clause(cref);
         let l0 = c.lit(0);
@@ -550,7 +563,7 @@ impl Solver {
 
     /// Assigns `l` true at the current decision level with an optional
     /// reason clause, pushing it onto the trail.
-    fn assign(&mut self, l: Lit, reason: Option<ClauseRef>) {
+    pub(crate) fn assign(&mut self, l: Lit, reason: Option<ClauseRef>) {
         debug_assert_eq!(self.value(l), LBool::Undef);
         let v = l.var();
         self.assigns.set(v, LBool::from(l.is_positive()));
@@ -568,7 +581,7 @@ impl Solver {
     }
 
     /// Boolean constraint propagation. Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = at(&self.trail, self.qhead);
             self.qhead += 1;
@@ -866,7 +879,7 @@ impl Solver {
     }
 
     /// Undoes all assignments above `target_level`.
-    fn backtrack(&mut self, target_level: u32) {
+    pub(crate) fn backtrack(&mut self, target_level: u32) {
         if self.decision_level() <= target_level {
             return;
         }
@@ -891,7 +904,7 @@ impl Solver {
             Branching::Evsids => {
                 let mut picked = None;
                 while let Some(v) = self.heap.pop(&self.activity) {
-                    if !self.assigns.get(v).is_assigned() {
+                    if !self.assigns.get(v).is_assigned() && !self.var_is_eliminated(v) {
                         picked = Some(v);
                         break;
                     }
@@ -900,7 +913,10 @@ impl Solver {
             }
             Branching::Vmtf => {
                 let assigns = &self.assigns;
-                self.vmtf.next_unassigned(|v| !assigns.get(v).is_assigned())
+                let inprocess = self.inprocess.as_deref();
+                self.vmtf.next_unassigned(|v| {
+                    !assigns.get(v).is_assigned() && !inprocess.is_some_and(|e| e.is_eliminated(v))
+                })
             }
             Branching::Random => self.pick_random_unassigned(),
         }?;
@@ -921,13 +937,13 @@ impl Solver {
             self.rng_state ^= self.rng_state >> 27;
             let r = (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32;
             let v = Var::new(r % self.num_vars);
-            if !self.assigns.get(v).is_assigned() {
+            if !self.assigns.get(v).is_assigned() && !self.var_is_eliminated(v) {
                 return Some(v);
             }
         }
         (0..self.num_vars)
             .map(Var::new)
-            .find(|&v| !self.assigns.get(v).is_assigned())
+            .find(|&v| !self.assigns.get(v).is_assigned() && !self.var_is_eliminated(v))
     }
 
     /// Deletes low-scoring reducible learned clauses (the REDUCE step whose
@@ -1003,7 +1019,7 @@ impl Solver {
     /// `checks` feature is enabled and a level was selected; a no-op (one
     /// dead branch) otherwise. Panics on the first violated invariant.
     #[inline]
-    fn checkpoint(&self, checkpoint: Checkpoint) {
+    pub(crate) fn checkpoint(&self, checkpoint: Checkpoint) {
         #[cfg(feature = "checks")]
         crate::check::run_checkpoint(self, checkpoint);
         #[cfg(not(feature = "checks"))]
@@ -1061,6 +1077,7 @@ impl Solver {
                 "assumption on unknown variable {a}"
             );
         }
+        self.assert_not_eliminated(assumptions, "assumption set");
         self.assumptions = assumptions.to_vec();
         let result = self.search(budget);
         self.assumptions.clear();
@@ -1179,6 +1196,9 @@ impl Solver {
                 if let Some(x) = &mut self.exchange {
                     x.on_learn(&learned, glue);
                 }
+                if let Some(eng) = &mut self.inprocess {
+                    eng.touch_lits(&learned);
+                }
                 self.backtrack(bt_level);
                 match *learned.as_slice() {
                     [] => debug_assert!(false, "learned clause cannot be empty"),
@@ -1231,6 +1251,56 @@ impl Solver {
                     if self.exchange.is_some() {
                         self.import_shared();
                         if !self.ok {
+                            return SolveResult::Unsat;
+                        }
+                    }
+                    // Inprocessing shares the restart boundary: the trail
+                    // is at the root, so clauses can be strengthened,
+                    // deleted, or replaced without touching live decisions.
+                    if self.inprocess_due() {
+                        let inprocess_timer = self.telemetry.as_ref().map(|_| Instant::now());
+                        #[cfg(feature = "trace")]
+                        let inprocess_span = telemetry::trace::span("inprocess");
+                        #[cfg(feature = "metrics")]
+                        let metrics_inprocess_timer = telemetry::metrics::phase_timer();
+                        #[cfg(feature = "metrics")]
+                        let inprocess_before = self.inprocess_stats().unwrap_or_default();
+                        let still_sat = self.inprocess_round();
+                        #[cfg(feature = "metrics")]
+                        {
+                            telemetry::metrics::phase_done(
+                                metrics_inprocess_timer,
+                                telemetry::metrics::Counter::InprocessNanos,
+                                telemetry::metrics::Counter::InprocessCalls,
+                            );
+                            if telemetry::metrics::armed() {
+                                let after = self.inprocess_stats().unwrap_or_default();
+                                telemetry::metrics::add(
+                                    telemetry::metrics::Counter::InprocessSubsumed,
+                                    after.subsumed.saturating_sub(inprocess_before.subsumed),
+                                );
+                                telemetry::metrics::add(
+                                    telemetry::metrics::Counter::InprocessStrengthened,
+                                    after
+                                        .strengthened
+                                        .saturating_sub(inprocess_before.strengthened),
+                                );
+                                telemetry::metrics::add(
+                                    telemetry::metrics::Counter::InprocessEliminated,
+                                    after
+                                        .eliminated_vars
+                                        .saturating_sub(inprocess_before.eliminated_vars),
+                                );
+                            }
+                        }
+                        #[cfg(feature = "trace")]
+                        drop(inprocess_span);
+                        if let (Some(start), Some(t)) =
+                            (inprocess_timer, self.telemetry.as_deref_mut())
+                        {
+                            t.add_phase(Phase::Inprocess, start.elapsed());
+                        }
+                        if !still_sat {
                             return SolveResult::Unsat;
                         }
                     }
@@ -1384,6 +1454,7 @@ impl Solver {
     /// Panics if the clause mentions a variable the solver does not know;
     /// allocate variables up front via the input formula's variable count.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.assert_not_eliminated(lits, "added clause");
         self.backtrack(0);
         self.qhead = self.qhead.min(self.trail.len());
         self.add_input_clause(lits)
@@ -1398,7 +1469,7 @@ impl Solver {
     }
 
     fn extract_model(&self) -> Vec<bool> {
-        (0..self.num_vars)
+        let mut model: Vec<bool> = (0..self.num_vars)
             .map(Var::new)
             .map(|v| {
                 self.assigns
@@ -1407,7 +1478,13 @@ impl Solver {
                     // Unconstrained variables default to the saved phase.
                     .unwrap_or(self.saved_phase.get(v))
             })
-            .collect()
+            .collect();
+        if let Some(eng) = &self.inprocess {
+            // Replay BVE's reconstruction stack so eliminated variables
+            // take values satisfying the clauses removed with them.
+            eng.extend_model(&mut model);
+        }
+        model
     }
 }
 
@@ -1453,6 +1530,8 @@ pub enum Checkpoint {
     PostReduce,
     /// A restart just backtracked to the root level.
     PostBackjump,
+    /// An inprocessing round (complete or budget-aborted) just finished.
+    PostInprocess,
 }
 
 /// Outcome of one assumption-establishment step.

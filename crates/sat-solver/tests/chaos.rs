@@ -21,7 +21,8 @@
 
 use cnf::Cnf;
 use sat_solver::{
-    solve_portfolio, Budget, PortfolioConfig, SolveResult, Solver, SolverConfig, StopCause,
+    check_proof, solve_portfolio, Budget, PortfolioConfig, RestartStrategy, SolveResult, Solver,
+    SolverConfig, StopCause,
 };
 use std::process::Command;
 use std::time::{Duration, Instant};
@@ -132,6 +133,124 @@ fn alien_pool_clause_is_rejected_gracefully() {
             Ok(out) => assert_compatible(&expected, &out.result, "pool-corrupt alien"),
             Err(e) => eprintln!("seed {seed}: alien clause tripped verification: {e}"),
         }
+    }
+}
+
+/// Inprocessing-heavy configuration: a round at every restart with
+/// frequent restarts, so the injected faults actually hit rounds.
+fn inprocess_config() -> SolverConfig {
+    SolverConfig {
+        inprocess: true,
+        inprocess_interval: 1,
+        restart: RestartStrategy::Luby { scale: 2 },
+        ..SolverConfig::default()
+    }
+}
+
+/// Solves with inprocessing under the armed fault plan and asserts the
+/// full chaos contract: verdict parity with the fault-free reference,
+/// verified models, replayed proofs. Returns the solver for stats checks.
+fn solve_inprocessed_under_faults(f: &Cnf, expected: &SolveResult, ctx: &str) -> Solver {
+    let mut s = Solver::new(f, inprocess_config());
+    s.enable_proof();
+    let got = s.solve();
+    assert_compatible(expected, &got, ctx);
+    assert!(!got.is_unknown(), "{ctx}: unlimited solve returned Unknown");
+    match got {
+        SolveResult::Sat(model) => {
+            assert!(
+                cnf::verify_model(f, &model).is_ok(),
+                "{ctx}: model invalid after faulted rounds"
+            );
+        }
+        SolveResult::Unsat => {
+            let proof = s.take_proof().expect("proof enabled");
+            assert!(proof.claims_unsat(), "{ctx}: proof must end empty");
+            check_proof(f, &proof)
+                .unwrap_or_else(|e| panic!("{ctx}: DRAT replay failed after faulted rounds: {e}"));
+        }
+        SolveResult::Unknown => unreachable!(),
+    }
+    s
+}
+
+#[test]
+fn inprocess_corruption_degrades_to_a_clean_skip() {
+    // Detected corruption of the engine's working state must skip the
+    // round before any mutation: the verdict stays right, the proof still
+    // replays, and every fired fault is accounted as a skipped round.
+    for seed in [1u64, 2, 3] {
+        let f = random_3sat(40, 170, seed);
+        let expected = reference_verdict(&f);
+        let scope = faults::install("inprocess-corrupt(at=0,times=4)".parse().expect("plan"));
+        let s = solve_inprocessed_under_faults(&f, &expected, "inprocess-corrupt");
+        let stats = s.inprocess_stats().expect("engine enabled");
+        let fired = scope.fired(faults::site::INPROCESS_CORRUPT);
+        assert!(fired > 0, "seed {seed}: rounds must be reached");
+        assert_eq!(
+            stats.skipped_rounds, fired,
+            "seed {seed}: every fired corruption is a clean skip"
+        );
+        assert_eq!(
+            stats.rounds + stats.skipped_rounds + stats.aborted_rounds - fired,
+            stats.rounds + stats.aborted_rounds,
+            "seed {seed}: skips never double-count"
+        );
+    }
+}
+
+#[test]
+fn inprocess_stall_forces_a_bounded_mid_round_abort() {
+    // A stalled round gets its step budget collapsed: the round must
+    // abort mid-way, leave the solver consistent (parity + replay), and
+    // never hang the solve.
+    for seed in [1u64, 2, 3] {
+        let f = random_3sat(40, 170, seed);
+        let expected = reference_verdict(&f);
+        let scope = faults::install("inprocess-stall(at=0,times=4)".parse().expect("plan"));
+        let start = Instant::now();
+        let s = solve_inprocessed_under_faults(&f, &expected, "inprocess-stall");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "seed {seed}: never-hang bound blown: {elapsed:?}"
+        );
+        let stats = s.inprocess_stats().expect("engine enabled");
+        let fired = scope.fired(faults::site::INPROCESS_STALL);
+        assert!(fired > 0, "seed {seed}: rounds must be reached");
+        assert!(
+            stats.aborted_rounds >= 1,
+            "seed {seed}: a collapsed budget must abort at least one round \
+             (aborted={}, fired={fired})",
+            stats.aborted_rounds
+        );
+    }
+}
+
+#[test]
+fn faulted_inprocessing_rounds_keep_audited_invariants() {
+    // Both fault sites in one plan, with the checks feature's invariant
+    // auditor running at every checkpoint if compiled in: a faulted round
+    // must not leave occurrence/reconstruction state behind that the
+    // auditor (or the final replay) would reject.
+    let f = random_3sat(40, 170, 5);
+    let expected = reference_verdict(&f);
+    let _scope = faults::install(
+        "inprocess-corrupt(at=1,times=2); inprocess-stall(at=3,times=2)"
+            .parse()
+            .expect("plan"),
+    );
+    let mut s = Solver::new(&f, inprocess_config());
+    #[cfg(feature = "checks")]
+    s.set_check_level(sat_solver::CheckLevel::Light);
+    s.enable_proof();
+    let got = s.solve();
+    assert_compatible(&expected, &got, "mixed inprocess faults");
+    s.audit_invariants(sat_solver::Checkpoint::PostInprocess)
+        .expect("post-run invariant audit");
+    if got.is_unsat() {
+        let proof = s.take_proof().expect("proof enabled");
+        check_proof(&f, &proof).expect("DRAT replay after mixed faults");
     }
 }
 
@@ -274,6 +393,84 @@ fn rsat_reports_truncated_proof_write_and_exits_one() {
     assert_eq!(out.status.code(), Some(1), "{stderr}");
     assert!(stderr.contains("failed to write proof"), "{stderr}");
     assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+/// Pigeonhole `php(pigeons, holes)`: UNSAT for `pigeons > holes`, with
+/// enough conflicts/restarts that inprocessing rounds actually fire.
+fn pigeonhole(pigeons: u32, holes: u32) -> Cnf {
+    let mut f = Cnf::new(pigeons * holes);
+    let var = |p: u32, h: u32| (p * holes + h + 1) as i32;
+    for p in 0..pigeons {
+        let clause: Vec<i32> = (0..holes).map(|h| var(p, h)).collect();
+        f.add_dimacs(&clause);
+    }
+    for h in 0..holes {
+        for p in 0..pigeons {
+            for q in (p + 1)..pigeons {
+                f.add_dimacs(&[-var(p, h), -var(q, h)]);
+            }
+        }
+    }
+    f
+}
+
+#[test]
+fn rsat_inprocess_proof_truncation_sweep_always_errors() {
+    // Inprocessing adds delete lines (subsumed/strengthened/eliminated
+    // clauses) to the DRAT stream. Sweep the truncation point across the
+    // whole proof — early (inside the header adds), mid (inside the new
+    // delete lines), late (near the empty clause) — and require the same
+    // contract at every cut: exit 1 with a diagnostic, never a silently
+    // short proof, never a panic.
+    let path = write_cnf("inprocess-truncate.cnf", &pigeonhole(6, 5));
+    let proof = std::env::temp_dir().join("rsat-chaos-tests/inprocess-truncated.drat");
+
+    // Control run: no fault. The proof must land complete, verified, and
+    // actually contain inprocessing work (rounds fired, delete lines).
+    let out = rsat()
+        .arg(&path)
+        .arg("--inprocess=1")
+        .arg("--proof")
+        .arg(&proof)
+        .arg("--check")
+        .output()
+        .expect("spawn rsat");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(20), "{stdout}");
+    assert!(
+        stdout.contains("c proof VERIFIED by the built-in RUP checker"),
+        "{stdout}"
+    );
+    assert!(
+        !stdout.contains("c inprocess rounds 0 "),
+        "rounds must fire on the control run: {stdout}"
+    );
+    let drat = std::fs::read_to_string(&proof).expect("control proof written");
+    let deletes = drat.lines().filter(|l| l.starts_with("d ")).count();
+    assert!(deletes > 0, "inprocessing must emit delete lines");
+
+    for after in [4u64, 64, 512, 4096] {
+        assert!(
+            (after as usize) < drat.len(),
+            "truncation point {after} must cut the {}-byte proof short",
+            drat.len()
+        );
+        let out = rsat()
+            .arg(&path)
+            .arg("--inprocess=1")
+            .arg("--proof")
+            .arg(&proof)
+            .arg(format!("--fault-plan=drat-truncate(after={after})"))
+            .output()
+            .expect("spawn rsat");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(1), "after={after}: {stderr}");
+        assert!(
+            stderr.contains("failed to write proof"),
+            "after={after}: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "after={after}: {stderr}");
+    }
 }
 
 #[test]

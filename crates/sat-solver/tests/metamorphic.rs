@@ -4,8 +4,10 @@
 //! Four transformations are exercised — variable renaming (a bijection on
 //! variable indices), literal polarity flips (negating every occurrence of
 //! a chosen variable set), clause shuffling, and duplicate-clause
-//! injection — against both deletion policies and against the
-//! clause-sharing portfolio. The solver never sees the "expected" answer:
+//! injection — against both deletion policies, against the solver with
+//! in-search inprocessing (subsumption, bounded variable elimination,
+//! vivification) rewriting the clause database mid-search, and against
+//! the clause-sharing portfolio. The solver never sees the "expected" answer:
 //! the oracle is the solver itself on the untransformed formula, which
 //! makes these tests sensitive to heuristic-dependent soundness bugs
 //! (e.g. a deletion policy or an imported clause corrupting the search)
@@ -133,11 +135,39 @@ fn config_with_tiny_reduce(policy: PolicyKind) -> SolverConfig {
     }
 }
 
+/// Like [`config_with_tiny_reduce`] but with inprocessing rounds firing
+/// at every restart, so subsumption/BVE/vivification all get a chance to
+/// rewrite these small formulas mid-search.
+fn config_with_inprocessing(policy: PolicyKind) -> SolverConfig {
+    SolverConfig {
+        inprocess: true,
+        inprocess_interval: 1,
+        ..config_with_tiny_reduce(policy)
+    }
+}
+
 fn is_sat(f: &Cnf, policy: PolicyKind) -> bool {
     let mut s = Solver::new(f, config_with_tiny_reduce(policy));
     match s.solve() {
         SolveResult::Sat(model) => {
             assert!(cnf::verify_model(f, &model).is_ok(), "invalid model");
+            true
+        }
+        SolveResult::Unsat => false,
+        SolveResult::Unknown => panic!("unlimited solve returned Unknown"),
+    }
+}
+
+/// Solves with inprocessing enabled; SAT models are verified against the
+/// *original* formula, so BVE model reconstruction is on the hook too.
+fn is_sat_inprocessed(f: &Cnf, policy: PolicyKind) -> bool {
+    let mut s = Solver::new(f, config_with_inprocessing(policy));
+    match s.solve() {
+        SolveResult::Sat(model) => {
+            assert!(
+                cnf::verify_model(f, &model).is_ok(),
+                "invalid model after inprocessing"
+            );
             true
         }
         SolveResult::Unsat => false,
@@ -191,6 +221,32 @@ proptest! {
                 is_sat(&g, PolicyKind::Default),
                 expected,
                 "{} broke SAT-invariance under the default policy",
+                tag
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_invariant_under_transformations_inprocessing(
+        f in arb_cnf(20, 70),
+        seed in any::<u64>(),
+    ) {
+        // Oracle is the plain solver; the transformed variants all run
+        // with inprocessing rounds at every restart. Any unsound
+        // subsumption, elimination, or vivification on a renamed/flipped/
+        // shuffled/duplicated copy shows up as a verdict flip, and a bad
+        // reconstruction shows up as an invalid model.
+        let expected = is_sat(&f, PolicyKind::Default);
+        prop_assert_eq!(
+            is_sat_inprocessed(&f, PolicyKind::Default),
+            expected,
+            "inprocessing flipped the verdict on the untransformed formula"
+        );
+        for (tag, g) in transformed_variants(&f, seed) {
+            prop_assert_eq!(
+                is_sat_inprocessed(&g, PolicyKind::Default),
+                expected,
+                "{} broke SAT-invariance with inprocessing enabled",
                 tag
             );
         }
@@ -259,6 +315,10 @@ fn transformations_preserve_models_concretely() {
     u.add_dimacs(&[-1, -2]);
     for (tag, g) in transformed_variants(&u, 13) {
         assert!(!is_sat(&g, PolicyKind::Default), "{tag} flipped UNSAT");
+        assert!(
+            !is_sat_inprocessed(&g, PolicyKind::Default),
+            "{tag} flipped UNSAT (inprocessing)"
+        );
         assert!(!portfolio_is_sat(&g, 2), "{tag} flipped UNSAT (portfolio)");
     }
 }

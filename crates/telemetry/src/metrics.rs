@@ -112,6 +112,16 @@ pub enum Counter {
     ReduceNanos,
     /// Completed `reduce` phase calls.
     ReduceCalls,
+    /// Wall nanoseconds spent in inprocessing rounds.
+    InprocessNanos,
+    /// Completed inprocessing rounds.
+    InprocessCalls,
+    /// Clauses deleted by in-search subsumption.
+    InprocessSubsumed,
+    /// Clauses shortened by self-subsuming resolution or vivification.
+    InprocessStrengthened,
+    /// Variables eliminated by in-search bounded variable elimination.
+    InprocessEliminated,
     /// Clauses this process exported to the shared portfolio pool.
     PoolExported,
     /// Clause copies imported from the shared portfolio pool.
@@ -124,7 +134,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in registry (and serialization) order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::Propagations,
         Counter::Conflicts,
         Counter::Decisions,
@@ -138,6 +148,11 @@ impl Counter {
         Counter::AnalyzeCalls,
         Counter::ReduceNanos,
         Counter::ReduceCalls,
+        Counter::InprocessNanos,
+        Counter::InprocessCalls,
+        Counter::InprocessSubsumed,
+        Counter::InprocessStrengthened,
+        Counter::InprocessEliminated,
         Counter::PoolExported,
         Counter::PoolImported,
         Counter::Inferences,
@@ -161,6 +176,11 @@ impl Counter {
             Counter::AnalyzeCalls => "phase.analyze_calls",
             Counter::ReduceNanos => "phase.reduce_ns",
             Counter::ReduceCalls => "phase.reduce_calls",
+            Counter::InprocessNanos => "phase.inprocess_ns",
+            Counter::InprocessCalls => "phase.inprocess_calls",
+            Counter::InprocessSubsumed => "inprocess.subsumed",
+            Counter::InprocessStrengthened => "inprocess.strengthened",
+            Counter::InprocessEliminated => "inprocess.eliminated_vars",
             Counter::PoolExported => "pool.exported",
             Counter::PoolImported => "pool.imported",
             Counter::Inferences => "pipeline.inferences",

@@ -22,6 +22,9 @@ pub enum Phase {
     Reduce,
     /// Restart bookkeeping (backjump to the root level).
     Restart,
+    /// In-search inprocessing rounds (subsumption, self-subsuming
+    /// resolution, bounded variable elimination, vivification).
+    Inprocess,
     /// Formula → graph feature extraction (pipeline).
     FeatureExtract,
     /// GNN forward pass (pipeline).
@@ -32,12 +35,13 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in serialization order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Propagate,
         Phase::Analyze,
         Phase::Minimize,
         Phase::Reduce,
         Phase::Restart,
+        Phase::Inprocess,
         Phase::FeatureExtract,
         Phase::GnnForward,
         Phase::PolicySelect,
@@ -51,6 +55,7 @@ impl Phase {
             Phase::Minimize => "minimize",
             Phase::Reduce => "reduce",
             Phase::Restart => "restart",
+            Phase::Inprocess => "inprocess",
             Phase::FeatureExtract => "feature_extract",
             Phase::GnnForward => "gnn_forward",
             Phase::PolicySelect => "policy_select",

@@ -125,6 +125,52 @@ fn single_worker_portfolio_is_bitwise_sequential() {
 }
 
 #[test]
+fn portfolio_with_inprocessing_matches_sequential_and_replays_proofs() {
+    // Portfolio safety of the inprocessing engine: every worker runs
+    // in-search rounds (interval 1 maximizes them) while sharing clauses
+    // and a common append-only proof log. Verdicts must still match the
+    // sequential solver, SAT models must verify against the original
+    // formula (BVE reconstruction per worker), and the shared DRAT log —
+    // which records inprocessing additions but no deletions — must
+    // replay on UNSAT.
+    let widths = worker_counts();
+    for (name, f) in differential_suite() {
+        let (seq, _) = solve_with_policy(&f, PolicyKind::Default, Budget::unlimited());
+        for &workers in &widths {
+            let mut cfg = portfolio_config(workers, &format!("inproc-{name}"));
+            cfg.base.inprocess = true;
+            cfg.base.inprocess_interval = 1;
+            let out = solve_portfolio(&f, &cfg)
+                .unwrap_or_else(|e| panic!("{name} x{workers}: inprocessing portfolio: {e}"));
+            assert_eq!(
+                out.result.is_sat(),
+                seq.is_sat(),
+                "{name} x{workers}: inprocessing portfolio verdict diverged"
+            );
+            match &out.result {
+                r if r.is_sat() => {
+                    let model = r.model().expect("SAT carries a model");
+                    assert!(
+                        verify_model(&f, model).is_ok(),
+                        "{name} x{workers}: invalid model under inprocessing"
+                    );
+                }
+                r if r.is_unsat() => {
+                    let proof = out.proof.as_ref().expect("UNSAT carries a proof");
+                    assert!(proof.claims_unsat(), "{name} x{workers}: no empty clause");
+                    assert_eq!(
+                        check_proof(&f, proof),
+                        Ok(()),
+                        "{name} x{workers}: shared DRAT log failed under inprocessing"
+                    );
+                }
+                _ => panic!("{name} x{workers}: inprocessing portfolio returned UNKNOWN"),
+            }
+        }
+    }
+}
+
+#[test]
 fn portfolio_respects_policy_mix_and_reports_every_worker() {
     let f = phase_transition_3sat(40, 9);
     let mut cfg = portfolio_config(4, "mix");

@@ -116,6 +116,73 @@ fn unsat_proof_checks_with_aggressive_reduction() {
     assert_eq!(check_proof(&f, &proof), Ok(()));
 }
 
+/// Inprocessing-enabled certification: verdicts must match the plain
+/// solver on every generator family, with models verified against the
+/// original formula (BVE reconstruction on the hook) and small UNSAT
+/// verdicts replayed through the RUP checker, delete lines included.
+fn solve_inprocessed_checked(f: &Cnf, label: &str) -> SolveResult {
+    let mut s = Solver::new(
+        f,
+        SolverConfig {
+            inprocess: true,
+            inprocess_interval: 1,
+            ..SolverConfig::default()
+        },
+    );
+    s.enable_proof();
+    let r = s.solve();
+    s.audit_invariants(Checkpoint::PostPropagate)
+        .unwrap_or_else(|e| panic!("{label}: invariant audit: {e}"));
+    match &r {
+        SolveResult::Sat(model) => assert!(
+            verify_model(f, model).is_ok(),
+            "{label}: invalid model after inprocessing"
+        ),
+        SolveResult::Unsat if f.num_vars() <= PROOF_CHECK_MAX_VARS => {
+            let proof = s.take_proof().expect("proof enabled");
+            assert_eq!(check_proof(f, &proof), Ok(()), "{label}: DRAT replay");
+        }
+        _ => {}
+    }
+    r
+}
+
+#[test]
+fn mixed_batch_inprocessing_parity() {
+    let batch = competition_batch("itest-inprocess", &DatasetConfig::tiny(), 5);
+    for inst in &batch.instances {
+        let plain = solve_checked(&inst.cnf, PolicyKind::Default);
+        let inproc = solve_inprocessed_checked(&inst.cnf, &inst.name);
+        assert_eq!(
+            plain.is_sat(),
+            inproc.is_sat(),
+            "{}: inprocessing flipped the verdict",
+            inst.name
+        );
+    }
+}
+
+#[test]
+fn tseitin_and_miter_inprocessing_parity_with_certified_proofs() {
+    let tseitin = tseitin_expander_unsat(5, 11);
+    assert!(
+        solve_inprocessed_checked(&tseitin, "tseitin-expander").is_unsat(),
+        "tseitin expander must stay UNSAT under inprocessing"
+    );
+    for seed in [1u64, 2] {
+        let spec = logic_circuit::RandomCircuitSpec {
+            num_inputs: 6,
+            num_gates: 40,
+            num_outputs: 2,
+        };
+        let f = equivalence_miter_cnf(spec, seed);
+        assert!(
+            solve_inprocessed_checked(&f, &format!("miter-{seed}")).is_unsat(),
+            "miter seed {seed} must stay UNSAT under inprocessing"
+        );
+    }
+}
+
 #[test]
 fn coloring_decodes_to_proper_coloring() {
     let g = Graph::random(20, 44, 8);
