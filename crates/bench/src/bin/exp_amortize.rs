@@ -1,0 +1,23 @@
+//! **Experiment — session amortization**: cold-start vs incremental
+//! sessions on a BMC sweep through the `rsatd` daemon.
+//!
+//! Prints one comparison line per counter width: total wall-clock and
+//! propagation work for the fresh-session-per-bound sweep against the
+//! single persistent session shipping only delta clauses.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_amortize [-- --bits N]
+//! ```
+
+use bench::amortize;
+use bench::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let max_bits: usize = args.get("bits", 6);
+    println!("# rsatd session amortization: fresh-per-bound vs one incremental session");
+    for bits in 3..=max_bits {
+        let report = amortize::run(bits);
+        println!("{}", report.comparison_line());
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod amortize;
 pub mod perf;
 pub mod trace_report;
 

@@ -36,8 +36,8 @@ mod random;
 mod tseitin;
 
 pub use aig::{parse_aiger, strash, to_aig, write_aiger, ParseAigerError};
-pub use bmc::{unroll, SequentialCircuit};
+pub use bmc::{unroll, IncrementalUnroll, SequentialCircuit};
 pub use circuit::{Circuit, Gate, NodeId};
 pub use miter::miter;
 pub use random::{inject_fault, random_circuit, rewrite, RandomCircuitSpec};
-pub use tseitin::{encode, Encoded};
+pub use tseitin::{encode, Encoded, IncrementalEncoder};

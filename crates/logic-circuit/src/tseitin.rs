@@ -58,43 +58,131 @@ impl Encoded {
 /// assert_eq!(f.num_vars(), 3);
 /// ```
 pub fn encode(circuit: &Circuit) -> Encoded {
-    let mut cnf = Cnf::new(0);
-    let node_var: Vec<Var> = (0..circuit.len()).map(|_| cnf.new_var()).collect();
-    let lit = |n: NodeId, value: bool| node_var[n.index()].lit(!value);
+    let mut inc = IncrementalEncoder::new();
+    let cnf = inc.encode_new(circuit);
+    Encoded {
+        cnf,
+        node_var: inc.node_var,
+    }
+}
 
-    for (i, gate) in circuit.gates().iter().enumerate() {
-        let y = NodeId::from_index(i);
-        match *gate {
-            Gate::Input => {}
-            Gate::Const(b) => {
-                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, b)]));
-            }
-            Gate::Not(a) => {
-                // y ↔ ¬a
-                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, true), lit(a, true)]));
-                cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, false), lit(a, false)]));
-            }
-            Gate::And(a, b) => encode_and(&mut cnf, lit(y, true), lit(a, true), lit(b, true)),
-            Gate::Nand(a, b) => encode_and(&mut cnf, lit(y, false), lit(a, true), lit(b, true)),
-            Gate::Or(a, b) => {
-                // y ↔ a ∨ b  ≡  ¬y ↔ ¬a ∧ ¬b
-                encode_and(&mut cnf, lit(y, false), lit(a, false), lit(b, false))
-            }
-            Gate::Nor(a, b) => encode_and(&mut cnf, lit(y, true), lit(a, false), lit(b, false)),
-            Gate::Xor(a, b) => encode_xor(&mut cnf, lit(y, true), lit(a, true), lit(b, true)),
-            Gate::Xnor(a, b) => encode_xor(&mut cnf, lit(y, false), lit(a, true), lit(b, true)),
-            Gate::Mux { sel, hi, lo } => {
-                let (s, h, l, yy) = (lit(sel, true), lit(hi, true), lit(lo, true), lit(y, true));
-                // s → (y ↔ hi)
-                cnf.add_clause(cnf::Clause::from_lits(vec![!s, !h, yy]));
-                cnf.add_clause(cnf::Clause::from_lits(vec![!s, h, !yy]));
-                // ¬s → (y ↔ lo)
-                cnf.add_clause(cnf::Clause::from_lits(vec![s, !l, yy]));
-                cnf.add_clause(cnf::Clause::from_lits(vec![s, l, !yy]));
-            }
+/// Tseitin encoding in slices: each [`IncrementalEncoder::encode_new`]
+/// call emits clauses only for the gates appended to the circuit since
+/// the previous call, while variable numbering stays globally
+/// consistent across calls.
+///
+/// This is the encoder side of incremental SAT workloads (BMC
+/// unrollings, growing miters): grow the circuit, feed only the delta
+/// clauses to an incremental solver session, and keep every literal
+/// from earlier slices valid.
+///
+/// # Examples
+///
+/// ```
+/// use logic_circuit::{Circuit, IncrementalEncoder};
+///
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let mut enc = IncrementalEncoder::new();
+/// let first = enc.encode_new(&c); // two input nodes: vars, no clauses
+/// assert_eq!(first.num_clauses(), 0);
+///
+/// let g = c.and_gate(a, b);
+/// let delta = enc.encode_new(&c); // only the AND gate's clauses
+/// assert_eq!(delta.num_clauses(), 3);
+/// assert_eq!(enc.lit(g, true).var().index(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalEncoder {
+    node_var: Vec<Var>,
+    encoded_gates: usize,
+}
+
+impl IncrementalEncoder {
+    /// An encoder that has seen no gates yet.
+    pub fn new() -> Self {
+        IncrementalEncoder::default()
+    }
+
+    /// Assigns variables to nodes added since the last call and returns
+    /// the clauses of exactly those gates. The returned formula's
+    /// variable count is the running total, so it can be handed to an
+    /// incremental solver that was sized for the final circuit.
+    pub fn encode_new(&mut self, circuit: &Circuit) -> Cnf {
+        for index in self.node_var.len()..circuit.len() {
+            self.node_var.push(Var::new(index as u32));
+        }
+        let mut delta = Cnf::new(self.node_var.len() as u32);
+        for (i, gate) in circuit.gates().iter().enumerate().skip(self.encoded_gates) {
+            encode_gate(&mut delta, &self.node_var, i, gate);
+        }
+        self.encoded_gates = circuit.len();
+        delta
+    }
+
+    /// The literal asserting that `node` carries `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has not been through [`encode_new`] yet.
+    ///
+    /// [`encode_new`]: IncrementalEncoder::encode_new
+    pub fn lit(&self, node: NodeId, value: bool) -> Lit {
+        self.node_var[node.index()].lit(!value)
+    }
+
+    /// Variables assigned so far (the solver-side variable count this
+    /// encoder's clauses require).
+    pub fn num_vars(&self) -> u32 {
+        self.node_var.len() as u32
+    }
+
+    /// Extracts the circuit-input values from a model over this
+    /// encoder's variables.
+    pub fn input_values(&self, circuit: &Circuit, model: &[bool]) -> Vec<bool> {
+        circuit
+            .inputs()
+            .iter()
+            .map(|&n| model[self.node_var[n.index()].index() as usize])
+            .collect()
+    }
+}
+
+/// Emits the functional-consistency clauses of one gate, with node `i`
+/// represented by `node_var[i]`.
+fn encode_gate(cnf: &mut Cnf, node_var: &[Var], i: usize, gate: &Gate) {
+    let lit = |n: NodeId, value: bool| node_var[n.index()].lit(!value);
+    let y = NodeId::from_index(i);
+    match *gate {
+        Gate::Input => {}
+        Gate::Const(b) => {
+            cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, b)]));
+        }
+        Gate::Not(a) => {
+            // y ↔ ¬a
+            cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, true), lit(a, true)]));
+            cnf.add_clause(cnf::Clause::from_lits(vec![lit(y, false), lit(a, false)]));
+        }
+        Gate::And(a, b) => encode_and(cnf, lit(y, true), lit(a, true), lit(b, true)),
+        Gate::Nand(a, b) => encode_and(cnf, lit(y, false), lit(a, true), lit(b, true)),
+        Gate::Or(a, b) => {
+            // y ↔ a ∨ b  ≡  ¬y ↔ ¬a ∧ ¬b
+            encode_and(cnf, lit(y, false), lit(a, false), lit(b, false))
+        }
+        Gate::Nor(a, b) => encode_and(cnf, lit(y, true), lit(a, false), lit(b, false)),
+        Gate::Xor(a, b) => encode_xor(cnf, lit(y, true), lit(a, true), lit(b, true)),
+        Gate::Xnor(a, b) => encode_xor(cnf, lit(y, false), lit(a, true), lit(b, true)),
+        Gate::Mux { sel, hi, lo } => {
+            let (s, h, l, yy) = (lit(sel, true), lit(hi, true), lit(lo, true), lit(y, true));
+            // s → (y ↔ hi)
+            cnf.add_clause(cnf::Clause::from_lits(vec![!s, !h, yy]));
+            cnf.add_clause(cnf::Clause::from_lits(vec![!s, h, !yy]));
+            // ¬s → (y ↔ lo)
+            cnf.add_clause(cnf::Clause::from_lits(vec![s, !l, yy]));
+            cnf.add_clause(cnf::Clause::from_lits(vec![s, l, !yy]));
         }
     }
-    Encoded { cnf, node_var }
 }
 
 /// Clauses for `y ↔ a ∧ b`.

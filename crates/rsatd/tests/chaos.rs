@@ -1,0 +1,380 @@
+//! Chaos suite: injected faults against the daemon, with a direct
+//!-solver oracle checking the core invariant — **a crashed, stalled, or
+//! deadline-exceeded session never yields a wrong verdict and never
+//! takes down another session**, and the daemon drains cleanly under
+//! every plan.
+
+#![cfg(feature = "faults")]
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use cnf::{Clause, Cnf, Lit};
+use rsatd::{Daemon, DaemonConfig, DaemonError, Verdict};
+use sat_solver::Solver;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A small random 3-SAT instance: solved in milliseconds, non-trivial
+/// enough that a wrong verdict would not be a coin flip.
+fn random_3sat(num_vars: u32, num_clauses: u32, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = XorShift::new(seed.wrapping_mul(2).wrapping_add(1));
+    let mut clauses = Vec::new();
+    for _ in 0..num_clauses {
+        let mut lits: Vec<i64> = Vec::with_capacity(3);
+        while lits.len() < 3 {
+            let v = rng.below(num_vars as u64) as i64 + 1;
+            if lits.iter().any(|l| l.abs() == v) {
+                continue;
+            }
+            lits.push(if rng.below(2) == 0 { v } else { -v });
+        }
+        clauses.push(lits);
+    }
+    clauses
+}
+
+/// Ground truth from a direct, daemon-free solver run.
+fn oracle_verdict(num_vars: u32, clauses: &[Vec<i64>]) -> Verdict {
+    let mut f = Cnf::new(num_vars);
+    for clause in clauses {
+        let lits: Vec<Lit> = clause.iter().map(|&l| Lit::from_dimacs(l as i32)).collect();
+        f.add_clause(Clause::from_lits(lits));
+    }
+    let mut solver = Solver::from_cnf(&f);
+    if solver.solve().is_sat() {
+        Verdict::Sat
+    } else {
+        Verdict::Unsat
+    }
+}
+
+const VARS: u32 = 60;
+const CLAUSES: u32 = 250;
+
+fn chaos_config() -> DaemonConfig {
+    DaemonConfig {
+        workers: 2,
+        queue_depth: 16,
+        default_deadline: Duration::from_secs(10),
+        ..DaemonConfig::default()
+    }
+}
+
+fn open_instance(daemon: &Daemon, seed: u64) -> (u64, Verdict) {
+    let clauses = random_3sat(VARS, CLAUSES, seed);
+    let sid = daemon.open(VARS, false).expect("open session");
+    daemon.add_clauses(sid, &clauses).expect("seed clauses");
+    (sid, oracle_verdict(VARS, &clauses))
+}
+
+#[test]
+fn session_panic_quarantines_only_its_session() {
+    let plan: faults::FaultPlan = "session-panic(session=2)".parse().unwrap();
+    let scope = faults::install(plan);
+
+    let daemon = Daemon::start(chaos_config());
+    let instances: Vec<(u64, Verdict)> = (0..3).map(|i| open_instance(&daemon, 10 + i)).collect();
+    assert_eq!(instances[1].0, 2, "second session gets id 2");
+
+    for &(sid, ref expected) in &instances {
+        let outcome = daemon.solve(sid, &[], None);
+        if sid == 2 {
+            let err = outcome.expect_err("the injected panic must surface as an error");
+            assert!(
+                matches!(err, DaemonError::SessionCrashed(2, _)),
+                "expected a crash quarantine, got {err}"
+            );
+        } else {
+            assert_eq!(
+                &outcome.unwrap().verdict,
+                expected,
+                "an uninjected session must match the oracle"
+            );
+        }
+    }
+    assert_eq!(scope.fired(faults::site::SESSION_PANIC), 1);
+    assert_eq!(daemon.stats().crashed, 1);
+
+    // The quarantine holds: every later call on session 2 is the same
+    // typed error, and the panic message is preserved.
+    match daemon.solve(2, &[], None) {
+        Err(DaemonError::SessionCrashed(2, msg)) => {
+            assert!(msg.contains("injected fault"), "panic message kept: {msg}")
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    // Untouched sessions keep answering correctly after the crash.
+    let (sid, expected) = &instances[2];
+    assert_eq!(&daemon.solve(*sid, &[], None).unwrap().verdict, expected);
+    // Cleanup path: a crashed session can be closed.
+    daemon.close(2).unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn scheduler_stall_degrades_to_deadline_not_wrong_answer() {
+    let plan: faults::FaultPlan = "scheduler-stall(delay_ms=300,times=1)".parse().unwrap();
+    let scope = faults::install(plan);
+
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 1,
+        ..chaos_config()
+    });
+    let (sid, expected) = open_instance(&daemon, 42);
+
+    // The stalled worker sits on the job until well past this deadline.
+    let reply = daemon
+        .solve(sid, &[], Some(Duration::from_millis(50)))
+        .unwrap();
+    assert_eq!(
+        reply.verdict,
+        Verdict::Unknown("deadline".to_string()),
+        "a stalled solve degrades to unknown, never to a guessed verdict"
+    );
+    assert_eq!(scope.fired(faults::site::SCHEDULER_STALL), 1);
+    assert!(daemon.stats().deadline_exceeded >= 1);
+
+    // The session survived its degradation and now answers correctly.
+    assert_eq!(daemon.solve(sid, &[], None).unwrap().verdict, expected);
+    daemon.shutdown();
+}
+
+#[test]
+fn overload_rejects_busy_in_bounded_time_while_admitted_work_finishes() {
+    // One worker stalled long enough for the queue to be observably
+    // full; queue depth 1 so the third solve must be rejected. The
+    // stall is generous (2 s) because the test polls its way into the
+    // pressure window instead of racing a sleep against it.
+    let plan: faults::FaultPlan = "scheduler-stall(delay_ms=2000,times=1)".parse().unwrap();
+    let scope = faults::install(plan);
+
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 1,
+        queue_depth: 1,
+        retry_after_ms: 77,
+        ..chaos_config()
+    });
+    let a = open_instance(&daemon, 1);
+    let b = open_instance(&daemon, 2);
+    let c = open_instance(&daemon, 3);
+
+    let (tx, rx) = mpsc::channel();
+    for (i, &(sid, _)) in [&a, &b].into_iter().enumerate() {
+        let tx = tx.clone();
+        daemon
+            .submit_solve(
+                sid,
+                vec![],
+                None,
+                Box::new(move |outcome| {
+                    let _ = tx.send((sid, outcome));
+                }),
+            )
+            .expect("first two solves are admitted");
+        if i == 0 {
+            // Job A must leave the queue (the worker takes it, then
+            // stalls 2 s inside the injection) before job B is
+            // submitted, or B races the worker for the single slot.
+            let taken = Instant::now();
+            while daemon.status().queued > 0 {
+                assert!(
+                    taken.elapsed() < Duration::from_secs(5),
+                    "worker never took the first job"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    // Wait for the pressure state itself, not a guessed delay: the
+    // worker holds job A (stalled mid-injection) while job B occupies
+    // the queue's only slot. Observing it leaves nearly the whole 2 s
+    // stall as margin to submit the third solve.
+    let pressured = Instant::now();
+    while !{
+        let s = daemon.status();
+        s.running >= 1 && s.queued >= 1
+    } {
+        assert!(
+            pressured.elapsed() < Duration::from_secs(5),
+            "daemon never reached the stalled-worker + full-queue state"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let started = Instant::now();
+    let err = match daemon.solve(c.0, &[], None) {
+        Ok(reply) => panic!(
+            "queue not full: admitted {reply:?} (stall fired {} times, status {:?})",
+            scope.fired(faults::site::SCHEDULER_STALL),
+            daemon.status()
+        ),
+        Err(e) => e,
+    };
+    let rejected_in = started.elapsed();
+    assert!(
+        matches!(err, DaemonError::Busy { retry_after_ms: 77 }),
+        "expected busy with the retry hint, got {err}"
+    );
+    // The bound must beat the 2 s stall by a wide margin (the
+    // rejection is synchronous, never parked behind the stalled
+    // worker) while tolerating a loaded test host.
+    assert!(
+        rejected_in < Duration::from_millis(250),
+        "overload rejection must be immediate, took {rejected_in:?}"
+    );
+
+    // The admitted solves still finish, correctly.
+    let mut seen = 0;
+    while seen < 2 {
+        let (sid, outcome) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let expected = if sid == a.0 { &a.1 } else { &b.1 };
+        assert_eq!(&outcome.unwrap().verdict, expected);
+        seen += 1;
+    }
+    assert!(daemon.stats().rejected >= 1);
+    daemon.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_truncate_kills_the_connection_not_the_daemon() {
+    use rsatd::{serve_connection, Client};
+    use std::io::BufReader;
+    use std::os::unix::net::UnixStream;
+
+    let plan: faults::FaultPlan = "socket-truncate(after=16)".parse().unwrap();
+    let _scope = faults::install(plan);
+
+    let daemon = Daemon::start(chaos_config());
+
+    let connect = |daemon: &Daemon| {
+        let (server_side, client_side) = UnixStream::pair().unwrap();
+        let d = daemon.clone();
+        let handle = std::thread::spawn(move || {
+            let reader = BufReader::new(server_side.try_clone().unwrap());
+            serve_connection(&d, reader, server_side);
+        });
+        let reader = BufReader::new(client_side.try_clone().unwrap());
+        (Client::new(reader, client_side), handle)
+    };
+
+    // First connection draws the truncating writer (times=1): its first
+    // full response blows the 16-byte budget, so the connection dies.
+    let (mut doomed, doomed_thread) = connect(&daemon);
+    let outcome = doomed.open(2, false, &[vec![1]], &[]);
+    assert!(
+        outcome.is_err(),
+        "a truncated response must surface as a client error"
+    );
+    doomed_thread.join().expect("server thread exits cleanly");
+
+    // The daemon is untouched: a fresh connection gets full service.
+    let (mut healthy, healthy_thread) = connect(&daemon);
+    let sid = healthy.open(2, false, &[vec![1, 2]], &[]).unwrap();
+    assert_eq!(healthy.solve(sid, &[], None).unwrap().verdict, "sat");
+    drop(healthy);
+    healthy_thread.join().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn drain_is_clean_under_every_plan() {
+    // Under each plan: admit a batch of solves, shut down immediately,
+    // and require every admitted solve to have been answered — with a
+    // verdict matching the oracle unless that session was the one
+    // injected to crash.
+    let plans = [
+        "",
+        "session-panic(session=1)",
+        "scheduler-stall(delay_ms=100,times=2)",
+        "session-panic(session=2);scheduler-stall(delay_ms=50,times=1)",
+    ];
+    for plan_text in plans {
+        let plan: faults::FaultPlan = plan_text.parse().unwrap();
+        let scope = faults::install(plan);
+
+        let daemon = Daemon::start(chaos_config());
+        let instances: Vec<(u64, Verdict)> =
+            (0..3).map(|i| open_instance(&daemon, 70 + i)).collect();
+        let (tx, rx) = mpsc::channel();
+        for &(sid, _) in &instances {
+            let tx = tx.clone();
+            daemon
+                .submit_solve(
+                    sid,
+                    vec![],
+                    None,
+                    Box::new(move |outcome| {
+                        let _ = tx.send((sid, outcome));
+                    }),
+                )
+                .expect("admission before drain");
+        }
+        daemon.shutdown();
+
+        let mut answered = 0;
+        while let Ok((sid, outcome)) = rx.try_recv() {
+            answered += 1;
+            let expected = &instances.iter().find(|(s, _)| *s == sid).unwrap().1;
+            match outcome {
+                Ok(reply) => assert_eq!(
+                    &reply.verdict, expected,
+                    "plan `{plan_text}`: wrong verdict for session {sid}"
+                ),
+                Err(DaemonError::SessionCrashed(..)) => {
+                    assert!(
+                        plan_text.contains("session-panic"),
+                        "plan `{plan_text}`: unexpected crash on session {sid}"
+                    );
+                }
+                Err(other) => panic!("plan `{plan_text}`: unexpected error {other}"),
+            }
+        }
+        assert_eq!(
+            answered,
+            instances.len(),
+            "plan `{plan_text}`: drain must answer every admitted solve"
+        );
+        drop(scope);
+    }
+}
+
+#[test]
+fn faulted_verdicts_never_contradict_the_oracle_across_a_sweep() {
+    // A broader sweep: many instances through a daemon whose scheduler
+    // stalls intermittently, verdicts cross-checked one by one.
+    let plan: faults::FaultPlan = "scheduler-stall(delay_ms=20,times=5)".parse().unwrap();
+    let _scope = faults::install(plan);
+
+    let daemon = Daemon::start(chaos_config());
+    for seed in 100..112 {
+        let (sid, expected) = open_instance(&daemon, seed);
+        let reply = daemon.solve(sid, &[], None).unwrap();
+        assert_eq!(
+            reply.verdict, expected,
+            "seed {seed}: daemon and oracle disagree"
+        );
+        daemon.close(sid).unwrap();
+    }
+    daemon.shutdown();
+}

@@ -780,8 +780,11 @@ impl Solver {
         IpStatus::Done
     }
 
-    /// Bounded variable elimination over unassigned, untouched-by-
-    /// assumptions candidate variables.
+    /// Bounded variable elimination over unassigned candidate variables
+    /// that are neither frozen nor mentioned by the current call's
+    /// assumptions. The frozen check is the incremental-soundness half:
+    /// a session's assumption candidates must survive every round, not
+    /// just rounds inside calls that happen to assume them.
     fn ip_eliminate(
         &mut self,
         eng: &mut InprocessEngine,
@@ -799,6 +802,7 @@ impl Solver {
             if !(full || touched.get(v))
                 || eng.is_eliminated(v)
                 || self.assigns.get(v).is_assigned()
+                || self.frozen.get(v)
                 || self.assumptions.iter().any(|a| a.var() == v)
             {
                 continue;

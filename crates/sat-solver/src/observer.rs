@@ -10,7 +10,11 @@
 /// no-ops; implement only what you need.
 ///
 /// Observers must be cheap: `on_conflict` fires on every conflict.
-pub trait SearchObserver: std::any::Any {
+///
+/// `Send` is a supertrait so an installed observer never stops the
+/// whole [`Solver`](crate::Solver) from moving between threads — the
+/// portfolio workers and the `rsatd` session pool both rely on that.
+pub trait SearchObserver: std::any::Any + Send {
     /// A conflict was analyzed; `glue` and `learned_len` describe the
     /// clause that was just learned.
     fn on_conflict(&mut self, conflict_no: u64, glue: u32, learned_len: usize) {

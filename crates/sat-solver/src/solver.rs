@@ -100,6 +100,11 @@ pub struct Solver {
     pub(crate) ok: bool,
     /// Assumptions for the current `solve_with_assumptions` call.
     pub(crate) assumptions: Vec<Lit>,
+    /// Variables inprocessing's bounded variable elimination must never
+    /// pick as pivots: assumption candidates of incremental sessions.
+    /// `solve_with_assumptions` freezes its assumption set automatically;
+    /// [`freeze_var`](Self::freeze_var) freezes ahead of the first use.
+    pub(crate) frozen: VarMap<bool>,
     /// The failed-assumption core of the last assumption-UNSAT result.
     core: Vec<Lit>,
     // conflict-analysis scratch space
@@ -164,6 +169,7 @@ impl Solver {
             config,
             ok: true,
             assumptions: Vec::new(),
+            frozen: VarMap::new(n, false),
             core: Vec::new(),
             seen: VarMap::new(n, false),
             analyze_toclear: Vec::new(),
@@ -369,6 +375,56 @@ impl Solver {
     /// Number of variables.
     pub fn num_vars(&self) -> u32 {
         self.num_vars
+    }
+
+    /// Freezes a variable: inprocessing's bounded variable elimination
+    /// will never pick it as a pivot, so it stays legal in future
+    /// assumptions and added clauses for the solver's whole lifetime.
+    ///
+    /// Incremental sessions freeze every assumption candidate up front;
+    /// [`solve_with_assumptions`](Self::solve_with_assumptions) also
+    /// freezes its assumption set automatically, so a variable assumed
+    /// once can always be assumed again. Freezing is irreversible and
+    /// only ever shrinks the elimination candidate set — verdicts are
+    /// unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this solver.
+    pub fn freeze_var(&mut self, v: Var) {
+        // xtask: allow(no-hard-assert) documented API contract, not search-loop code
+        assert!(
+            v.index() < self.num_vars,
+            "frozen variable {} out of range (solver has {} variables)",
+            v.index(),
+            self.num_vars
+        );
+        self.frozen.set(v, true);
+    }
+
+    /// Freezes the variable of every literal in `lits`
+    /// (see [`freeze_var`](Self::freeze_var)).
+    pub fn freeze_lits(&mut self, lits: &[Lit]) {
+        for &l in lits {
+            self.freeze_var(l.var());
+        }
+    }
+
+    /// Whether `v` is frozen (see [`freeze_var`](Self::freeze_var)).
+    pub fn is_frozen(&self, v: Var) -> bool {
+        v.index() < self.num_vars && self.frozen.get(v)
+    }
+
+    /// The first variable in `lits` that inprocessing eliminated, if any
+    /// — the non-panicking counterpart of the eliminated-variable
+    /// contract on [`add_clause`](Self::add_clause) and
+    /// [`solve_with_assumptions`](Self::solve_with_assumptions). Callers
+    /// that accept untrusted literal sets (e.g. a solver service) probe
+    /// with this and report a typed error instead of panicking.
+    pub fn find_eliminated(&self, lits: &[Lit]) -> Option<Var> {
+        lits.iter()
+            .map(|l| l.var())
+            .find(|&v| v.index() < self.num_vars && self.var_is_eliminated(v))
     }
 
     /// A snapshot of the clause database's current composition.
@@ -1078,6 +1134,12 @@ impl Solver {
             );
         }
         self.assert_not_eliminated(assumptions, "assumption set");
+        // Assumption variables are candidates for future calls too:
+        // freeze them so inprocessing between calls cannot eliminate a
+        // variable the caller will assume again.
+        for a in assumptions {
+            self.frozen.set(a.var(), true);
+        }
         self.assumptions = assumptions.to_vec();
         let result = self.search(budget);
         self.assumptions.clear();

@@ -130,11 +130,21 @@ pub enum Counter {
     Inferences,
     /// Wall nanoseconds spent in model inference.
     InferenceNanos,
+    /// Daemon requests admitted past admission control.
+    DaemonAdmitted,
+    /// Daemon requests rejected by admission control (`busy`).
+    DaemonRejected,
+    /// Daemon sessions evicted for idleness or memory pressure.
+    DaemonEvicted,
+    /// Daemon sessions quarantined after a solver panic.
+    DaemonCrashed,
+    /// Daemon solves degraded to `unknown` by their deadline.
+    DaemonDeadlineExceeded,
 }
 
 impl Counter {
     /// All counters, in registry (and serialization) order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Propagations,
         Counter::Conflicts,
         Counter::Decisions,
@@ -157,6 +167,11 @@ impl Counter {
         Counter::PoolImported,
         Counter::Inferences,
         Counter::InferenceNanos,
+        Counter::DaemonAdmitted,
+        Counter::DaemonRejected,
+        Counter::DaemonEvicted,
+        Counter::DaemonCrashed,
+        Counter::DaemonDeadlineExceeded,
     ];
 
     /// The stable wire name (see the `metrics-names` manifest rule).
@@ -185,6 +200,11 @@ impl Counter {
             Counter::PoolImported => "pool.imported",
             Counter::Inferences => "pipeline.inferences",
             Counter::InferenceNanos => "pipeline.inference_ns",
+            Counter::DaemonAdmitted => "daemon.admitted",
+            Counter::DaemonRejected => "daemon.rejected",
+            Counter::DaemonEvicted => "daemon.evicted",
+            Counter::DaemonCrashed => "daemon.crashed",
+            Counter::DaemonDeadlineExceeded => "daemon.deadline_exceeded",
         }
         // metrics-names:end counters
     }
@@ -217,15 +237,21 @@ pub enum Gauge {
     InferenceLastSeconds,
     /// Probability the model assigned to its most recent policy pick.
     PolicyConfidence,
+    /// Live sessions currently open in the daemon.
+    DaemonSessions,
+    /// Aggregate approximate memory of the daemon's live solvers, bytes.
+    DaemonMemoryBytes,
 }
 
 impl Gauge {
     /// All gauges, in registry (and serialization) order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 6] = [
         Gauge::MemoryBytes,
         Gauge::LiveLearned,
         Gauge::InferenceLastSeconds,
         Gauge::PolicyConfidence,
+        Gauge::DaemonSessions,
+        Gauge::DaemonMemoryBytes,
     ];
 
     /// The stable wire name (see the `metrics-names` manifest rule).
@@ -236,6 +262,8 @@ impl Gauge {
             Gauge::LiveLearned => "solver.live_learned_clauses",
             Gauge::InferenceLastSeconds => "pipeline.inference_last_s",
             Gauge::PolicyConfidence => "pipeline.policy_confidence",
+            Gauge::DaemonSessions => "daemon.sessions",
+            Gauge::DaemonMemoryBytes => "daemon.memory_bytes",
         }
         // metrics-names:end gauges
     }
