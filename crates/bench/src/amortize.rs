@@ -34,6 +34,10 @@ pub struct AmortizeReport {
     pub fresh_propagations: u64,
     /// Summed solver propagations across the session sweep.
     pub session_propagations: u64,
+    /// Per-bound wall-clock of each fresh solve, in ms (one per bound).
+    pub fresh_latency_ms: Vec<f64>,
+    /// Per-bound wall-clock of each session solve, in ms (one per bound).
+    pub session_latency_ms: Vec<f64>,
 }
 
 impl AmortizeReport {
@@ -61,6 +65,25 @@ impl AmortizeReport {
             self.speedup_wall(),
             self.speedup_props(),
         )
+    }
+
+    /// Per-bound latency percentile lines for both modes, in the
+    /// workspace's standard `p50 … | p90 … | p99 …` format.
+    ///
+    /// Tail latency is the whole point of the comparison: the fresh
+    /// sweep's worst bounds re-pay the entire unrolling, while the
+    /// session's worst bound only pays its delta.
+    pub fn percentile_lines(&self) -> Vec<String> {
+        [
+            ("fresh", &self.fresh_latency_ms),
+            ("session", &self.session_latency_ms),
+        ]
+        .into_iter()
+        .filter_map(|(mode, lat)| {
+            crate::percentile_line(lat.iter().copied())
+                .map(|line| format!("  {mode:>7} per-bound latency: {line}"))
+        })
+        .collect()
     }
 }
 
@@ -140,8 +163,11 @@ pub fn run(bits: usize) -> AmortizeReport {
     let started = Instant::now();
     let mut fresh_propagations = 0;
     let mut fresh_verdicts = Vec::with_capacity(max_bound);
+    let mut fresh_latency_ms = Vec::with_capacity(max_bound);
     for bound in 1..=max_bound {
+        let bound_started = Instant::now();
         let (sat, props) = solve_fresh(&daemon, &seq, &initial, bound);
+        fresh_latency_ms.push(bound_started.elapsed().as_secs_f64() * 1e3);
         fresh_propagations += props;
         fresh_verdicts.push(sat);
     }
@@ -157,10 +183,12 @@ pub fn run(bits: usize) -> AmortizeReport {
     let started = Instant::now();
     let mut session_propagations = 0;
     let mut session_verdicts = Vec::with_capacity(max_bound);
+    let mut session_latency_ms = Vec::with_capacity(max_bound);
     let session = daemon.open_session(total_vars, false).expect("open");
     let mut unrolling = IncrementalUnroll::new(&seq, &initial);
     let mut enc = IncrementalEncoder::new();
     for _bound in 1..=max_bound {
+        let bound_started = Instant::now();
         let bad = unrolling.push_frame();
         let delta = enc.encode_new(unrolling.circuit());
         session.add_clauses(&dimacs_clauses(&delta)).expect("delta");
@@ -173,6 +201,7 @@ pub fn run(bits: usize) -> AmortizeReport {
             Verdict::Unsat => false,
             Verdict::Unknown(cause) => panic!("session solve degraded: {cause}"),
         });
+        session_latency_ms.push(bound_started.elapsed().as_secs_f64() * 1e3);
     }
     session.close().expect("close");
     let session_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -199,6 +228,8 @@ pub fn run(bits: usize) -> AmortizeReport {
         session_ms,
         fresh_propagations,
         session_propagations,
+        fresh_latency_ms,
+        session_latency_ms,
     }
 }
 
@@ -212,6 +243,14 @@ mod tests {
         // re-shipping and re-solving of cold starts dominates noise.
         let report = run(6);
         println!("{}", report.comparison_line());
+        assert_eq!(report.fresh_latency_ms.len(), report.bounds);
+        assert_eq!(report.session_latency_ms.len(), report.bounds);
+        let lines = report.percentile_lines();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(
+            lines[0].contains("p50") && lines[0].contains("p99"),
+            "{lines:?}"
+        );
         assert!(
             report.speedup_wall() >= 2.0,
             "incremental session must amortize >= 2x over cold starts: {}",

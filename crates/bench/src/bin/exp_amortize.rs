@@ -19,5 +19,8 @@ fn main() {
     for bits in 3..=max_bits {
         let report = amortize::run(bits);
         println!("{}", report.comparison_line());
+        for line in report.percentile_lines() {
+            println!("{line}");
+        }
     }
 }

@@ -2,21 +2,33 @@
 //! `rsat --trace-out` (or any `telemetry::trace` exporter):
 //!
 //! ```text
-//! trace-report TRACE.json
+//! trace-report TRACE.json            # pipeline view
+//! trace-report --daemon TRACE.json   # rsatd worker-lane view
 //! ```
 //!
-//! Prints per-phase/per-worker time breakdowns, the import-to-use latency
-//! of shared clauses, and the inference-vs-solve overlap.
+//! The default view prints per-phase/per-worker time breakdowns, the
+//! import-to-use latency of shared clauses, and the inference-vs-solve
+//! overlap. `--daemon` reads an `rsatd --trace-out` export instead:
+//! per-worker queue-wait/solve/reply breakdowns, the admission-outcome
+//! split, and how much queue-wait accrued while workers were solving.
 
-use bench::trace_report::analyze_str;
+use bench::trace_report::{analyze_daemon_str, analyze_str};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: trace-report TRACE.json");
+    let mut daemon = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--daemon" => daemon = true,
+            _ => positional.push(arg),
+        }
+    }
+    let [path] = positional.as_slice() else {
+        eprintln!("usage: trace-report [--daemon] TRACE.json");
         return ExitCode::from(1);
     };
+    let path = path.clone();
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => {
@@ -24,7 +36,12 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    match analyze_str(&text) {
+    let rendered = if daemon {
+        analyze_daemon_str(&text).map(|report| report.to_string())
+    } else {
+        analyze_str(&text).map(|report| report.to_string())
+    };
+    match rendered {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS

@@ -66,6 +66,7 @@ struct Args {
     transport: Transport,
     config: DaemonConfig,
     fault_plan: Option<String>,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
@@ -81,6 +82,9 @@ fn usage() -> &'static str {
        --max-deadline-ms N  hard per-solve deadline ceiling (default 300000)\n\
        --retry-after-ms N   busy-rejection retry hint (default 100)\n\
        --records FILE       append one RunRecord JSONL line per solve\n\
+       --records-out FILE   append one RequestRecord JSONL line per admitted request\n\
+       --trace-out FILE     write a Chrome trace of worker span lanes on exit\n\
+     \x20                    (requires the `trace` feature)\n\
        --fault-plan PLAN    install a fault plan (requires the `faults` feature)\n"
 }
 
@@ -89,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
     let mut transport = None;
     let mut config = DaemonConfig::default();
     let mut fault_plan = None;
+    let mut trace_out = None;
 
     let parse_num = |flag: &str, value: Option<String>| -> Result<u64, String> {
         value
@@ -131,6 +136,21 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--records expects a path")?,
                 ))
             }
+            "--records-out" => {
+                config.request_records_path = Some(PathBuf::from(
+                    args.next().ok_or("--records-out expects a path")?,
+                ))
+            }
+            "--trace-out" => {
+                let path = args.next().ok_or("--trace-out expects a path")?;
+                if !telemetry::trace::enabled() {
+                    return Err(
+                        "--trace-out needs the `trace` feature; rebuild with --features trace"
+                            .into(),
+                    );
+                }
+                trace_out = Some(PathBuf::from(path));
+            }
             "--fault-plan" => fault_plan = Some(args.next().ok_or("--fault-plan expects a plan")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -141,7 +161,21 @@ fn parse_args() -> Result<Args, String> {
         transport,
         config,
         fault_plan,
+        trace_out,
     })
+}
+
+/// Exports the drained worker span lanes as a Perfetto-loadable Chrome
+/// trace. Best-effort: a write failure is reported, never fatal.
+fn write_trace(path: &PathBuf) {
+    let doc = telemetry::trace::chrome_trace(&telemetry::trace::drain());
+    if let Err(e) = std::fs::write(path, doc.to_string()) {
+        let _ = writeln!(
+            std::io::stderr(),
+            "rsatd: could not write trace to {}: {e}",
+            path.display()
+        );
+    }
 }
 
 #[cfg(feature = "faults")]
@@ -176,6 +210,11 @@ fn main() -> ExitCode {
     }
 
     sig::install();
+    if args.trace_out.is_some() {
+        // Armed before the workers take their first job so every
+        // queue-wait/solve/reply span lands in a worker lane.
+        telemetry::trace::arm(0);
+    }
     let daemon = Daemon::start(args.config);
 
     match args.transport {
@@ -196,6 +235,9 @@ fn main() -> ExitCode {
             stop.store(true, Ordering::Release);
             let _ = bridge.join();
             daemon.shutdown();
+            if let Some(out) = &args.trace_out {
+                write_trace(out);
+            }
             if let Err(e) = served {
                 let _ = writeln!(std::io::stderr(), "rsatd: socket error: {e}");
                 return ExitCode::FAILURE;
@@ -206,6 +248,9 @@ fn main() -> ExitCode {
             let stdout = std::io::stdout();
             serve_connection(&daemon, stdin.lock(), stdout);
             daemon.shutdown();
+            if let Some(out) = &args.trace_out {
+                write_trace(out);
+            }
         }
     }
     ExitCode::SUCCESS

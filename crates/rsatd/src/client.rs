@@ -27,6 +27,10 @@ pub enum ClientError {
         message: String,
         /// Back-off hint, present on `busy` rejections.
         retry_after_ms: Option<u64>,
+        /// The daemon-minted request id, present when the failing
+        /// request had been admitted (its JSONL `RequestRecord` carries
+        /// the same id); `None` on pre-admission rejections.
+        request_id: Option<u64>,
     },
 }
 
@@ -35,6 +39,14 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Daemon {
+                kind,
+                message,
+                request_id: Some(rid),
+                ..
+            } => {
+                write!(f, "daemon error [{kind}] (request {rid}): {message}")
+            }
             ClientError::Daemon { kind, message, .. } => {
                 write!(f, "daemon error [{kind}]: {message}")
             }
@@ -63,6 +75,9 @@ impl ClientError {
 /// A solve's wire-level outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireReply {
+    /// The daemon-minted request id; the same id names this solve in
+    /// the daemon's per-request JSONL records.
+    pub request_id: u64,
     /// `"sat"`, `"unsat"`, or `"unknown"`.
     pub verdict: String,
     /// Stop cause when the verdict is `"unknown"`.
@@ -158,6 +173,7 @@ impl<R: BufRead, W: Write> Client<R, W> {
         let response = self.roundtrip(body)?;
         let field = |key: &str| response.get(key).and_then(Json::as_u64).unwrap_or(0);
         Ok(WireReply {
+            request_id: field("request_id"),
             verdict: response
                 .get("verdict")
                 .and_then(Json::as_str)
@@ -202,6 +218,12 @@ impl<R: BufRead, W: Write> Client<R, W> {
     /// The daemon's occupancy/robustness snapshot, as raw JSON.
     pub fn status(&mut self) -> Result<Json, ClientError> {
         self.roundtrip(Json::object().with("op", "status".into()))
+    }
+
+    /// The daemon's deep-status snapshot (live metrics, per-session
+    /// stats, in-flight request ages, slow-request ring), as raw JSON.
+    pub fn introspect(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(Json::object().with("op", "introspect".into()))
     }
 
     /// Asks the daemon to drain and exit.
@@ -290,6 +312,7 @@ fn unwrap_response(response: Json) -> Result<Json, ClientError> {
         retry_after_ms: error
             .and_then(|e| e.get("retry_after_ms"))
             .and_then(Json::as_u64),
+        request_id: response.get("request_id").and_then(Json::as_u64),
     })
 }
 

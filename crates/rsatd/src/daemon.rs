@@ -29,9 +29,10 @@ use std::time::{Duration, Instant};
 
 use cnf::{Cnf, Lit, Var};
 use sat_solver::{run_isolated, Budget, SolveResult, Solver, SolverConfig, SolverTelemetry};
+use telemetry::json::{Json, ToJson};
 use telemetry::metrics::{self, Counter, Gauge};
 use telemetry::trace;
-use telemetry::{Event, JsonlSink, Sink};
+use telemetry::{Event, JsonlSink, RequestRecord, Sink};
 
 /// Tuning knobs of a [`Daemon`].
 #[derive(Debug, Clone)]
@@ -61,6 +62,11 @@ pub struct DaemonConfig {
     /// When set, one JSONL [`telemetry::RunRecord`] is appended here per
     /// completed solve.
     pub records_path: Option<PathBuf>,
+    /// When set, one JSONL [`telemetry::RequestRecord`] is appended here
+    /// per *admitted* request — the daemon-side sibling of the solver's
+    /// RunRecord: request id, queue wait, solve wall, verdict/stop cause,
+    /// worker id, and solver stat deltas.
+    pub request_records_path: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -75,6 +81,7 @@ impl Default for DaemonConfig {
             max_deadline: Duration::from_secs(300),
             retry_after_ms: 100,
             records_path: None,
+            request_records_path: None,
         }
     }
 }
@@ -219,6 +226,9 @@ impl Verdict {
 /// Per-solve summary returned to the caller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SolveReply {
+    /// The daemon-minted request id; the same id appears on the wire
+    /// reply and in the [`telemetry::RequestRecord`] this solve emitted.
+    pub request_id: u64,
     /// The verdict.
     pub verdict: Verdict,
     /// Conflicts spent by this call (delta, not session lifetime).
@@ -286,21 +296,58 @@ struct Session {
     /// blocks concurrent solves and shields the session from eviction.
     queued: bool,
     vars: u32,
+    created: Instant,
     last_used: Instant,
     mem_bytes: u64,
     last_model: Option<Vec<bool>>,
     last_core: Option<Vec<Lit>>,
+    /// Cumulative per-session accounting, updated as each of its
+    /// requests reaches a terminal record (surfaced by `introspect`).
+    solves: u64,
+    conflicts: u64,
+    propagations: u64,
+    last_verdict: Option<String>,
 }
 
-type SolveCallback = Box<dyn FnOnce(Result<SolveReply, DaemonError>) + Send>;
+/// The outcome callback of one admitted solve. The first argument is
+/// the daemon-minted request id — the same id stamped on the wire reply
+/// and on the request's [`telemetry::RequestRecord`].
+pub type SolveCallback = Box<dyn FnOnce(u64, Result<SolveReply, DaemonError>) + Send>;
 
 struct Job {
+    request_id: u64,
     session: u64,
     assumptions: Vec<Lit>,
     deadline_at: Instant,
+    /// Wall-clock admission time, for queue-wait accounting.
+    admitted_at: Instant,
+    /// Trace-epoch admission time (0 when tracing is disarmed), for the
+    /// retroactive `queue-wait` span.
+    admit_ns: u64,
     seq: u64,
     cb: SolveCallback,
 }
+
+/// Live entry for a request between admission and its terminal record.
+struct InFlight {
+    session: u64,
+    admitted_at: Instant,
+    /// `None` while queued; the worker id once checked out.
+    worker: Option<u64>,
+}
+
+/// One slot of the bounded worst-by-wall slow-request ring.
+#[derive(Clone)]
+struct SlowRequest {
+    request_id: u64,
+    session: u64,
+    queue_wait_ms: f64,
+    solve_ms: f64,
+    verdict: String,
+}
+
+/// Capacity of the slow-request ring kept for `introspect`.
+const SLOW_RING: usize = 16;
 
 #[derive(Default)]
 struct StatCells {
@@ -316,6 +363,7 @@ struct Inner {
     cfg: DaemonConfig,
     sessions: Mutex<HashMap<u64, Session>>,
     next_session: AtomicU64,
+    next_request: AtomicU64,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     running: AtomicUsize,
@@ -325,6 +373,9 @@ struct Inner {
     mem_total: AtomicU64,
     stats: StatCells,
     records: Option<Mutex<JsonlSink<BufWriter<File>>>>,
+    request_records: Option<Mutex<JsonlSink<BufWriter<File>>>>,
+    inflight: Mutex<HashMap<u64, InFlight>>,
+    slow: Mutex<Vec<SlowRequest>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -370,18 +421,21 @@ impl Daemon {
     /// daemon.shutdown();
     /// ```
     pub fn start(cfg: DaemonConfig) -> Daemon {
-        let records = cfg.records_path.as_ref().and_then(|path| {
-            // A records path that cannot be opened degrades to
-            // no-records rather than refusing to boot.
+        // A records path that cannot be opened degrades to no-records
+        // rather than refusing to boot.
+        let open_sink = |path: &PathBuf| {
             File::create(path)
                 .ok()
                 .map(|f| Mutex::new(JsonlSink::new(BufWriter::new(f))))
-        });
+        };
+        let records = cfg.records_path.as_ref().and_then(open_sink);
+        let request_records = cfg.request_records_path.as_ref().and_then(open_sink);
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             cfg,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            next_request: AtomicU64::new(1),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             running: AtomicUsize::new(0),
@@ -391,6 +445,9 @@ impl Daemon {
             mem_total: AtomicU64::new(0),
             stats: StatCells::default(),
             records,
+            request_records,
+            inflight: Mutex::new(HashMap::new()),
+            slow: Mutex::new(Vec::new()),
             workers: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
@@ -399,7 +456,7 @@ impl Daemon {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rsatd-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, worker_id as u64))
                     .expect("spawning a daemon worker thread"),
             );
         }
@@ -455,10 +512,15 @@ impl Daemon {
                 state: SessionState::Idle(solver),
                 queued: false,
                 vars: num_vars,
+                created: now,
                 last_used: now,
                 mem_bytes: mem,
                 last_model: None,
                 last_core: None,
+                solves: 0,
+                conflicts: 0,
+                propagations: 0,
+                last_verdict: None,
             },
         );
         inner.mem_total.fetch_add(mem, Ordering::AcqRel);
@@ -528,7 +590,7 @@ impl Daemon {
             sid,
             assumptions.to_vec(),
             deadline,
-            Box::new(move |reply| {
+            Box::new(move |_rid, reply| {
                 let _ = tx.send(reply);
             }),
         )?;
@@ -538,14 +600,17 @@ impl Daemon {
 
     /// Asynchronous solve: admission happens synchronously (errors
     /// return immediately and `cb` is *not* invoked); once admitted,
-    /// `cb` receives the outcome on a worker thread.
+    /// returns the minted request id and `cb` later receives that id
+    /// plus the outcome on a worker thread. Every admitted request —
+    /// whatever its fate — emits exactly one terminal
+    /// [`telemetry::RequestRecord`] carrying the same id.
     pub fn submit_solve(
         &self,
         sid: u64,
         assumptions: Vec<i64>,
         deadline: Option<Duration>,
         cb: SolveCallback,
-    ) -> Result<(), DaemonError> {
+    ) -> Result<u64, DaemonError> {
         let inner = &self.inner;
         if inner.draining.load(Ordering::Acquire) {
             return Err(DaemonError::Draining);
@@ -607,20 +672,41 @@ impl Daemon {
         let timeout = deadline
             .unwrap_or(inner.cfg.default_deadline)
             .min(inner.cfg.max_deadline);
+        let request_id = inner.next_request.fetch_add(1, Ordering::AcqRel);
         let job = Job {
+            request_id,
             session: sid,
             assumptions: lits,
             deadline_at: now + timeout,
+            admitted_at: now,
+            admit_ns: trace::epoch_ns(),
             seq: inner.solve_seq.fetch_add(1, Ordering::AcqRel),
             cb,
         };
+        {
+            // xtask: allow(lock-order) distinct mutexes: inflight is only ever taken after (inside) the sessions guard
+            let mut inflight = lock(&inner.inflight);
+            inflight.insert(
+                request_id,
+                InFlight {
+                    session: sid,
+                    admitted_at: now,
+                    worker: None,
+                },
+            );
+            if metrics::armed() {
+                metrics::set_gauge(Gauge::DaemonInFlight, inflight.len() as f64);
+            }
+        }
+        // xtask: allow(lock-order) distinct mutexes: the queue is only ever taken after (inside) the sessions guard
         let mut queue = lock(&inner.queue);
         queue.push_back(job);
         drop(queue);
         inner.queue_cv.notify_one();
         inner.stats.admitted.fetch_add(1, Ordering::AcqRel);
         metrics::inc(Counter::DaemonAdmitted);
-        Ok(())
+        trace::instant_with("daemon-admit", &[("request", request_id), ("session", sid)]);
+        Ok(request_id)
     }
 
     /// The satisfying model of the last `Sat` solve, as DIMACS-signed
@@ -711,6 +797,148 @@ impl Daemon {
         }
     }
 
+    /// Deep-status snapshot for operators: everything [`Daemon::status`]
+    /// and [`Daemon::stats`] report, plus a live metrics snapshot (when
+    /// the `metrics` feature is armed), per-session state and cumulative
+    /// stats, the ages of in-flight requests, and the worst-N
+    /// slow-request ring with a queue-wait vs solve phase breakdown.
+    pub fn introspect(&self) -> Json {
+        let status = self.status();
+        let stats = self.stats();
+        let now = Instant::now();
+
+        // Collect plain rows under each lock; all Json assembly happens
+        // after the guards drop (`Json::with`/`set` panic on duplicate
+        // keys, and a panic under these locks would poison the daemon).
+        let mut session_rows = Vec::new();
+        {
+            let sessions = lock(&self.inner.sessions);
+            let mut ids: Vec<u64> = sessions.keys().copied().collect();
+            ids.sort_unstable();
+            for sid in ids {
+                let s = &sessions[&sid];
+                let state = match &s.state {
+                    SessionState::Idle(_) => "idle",
+                    SessionState::Busy => "busy",
+                    SessionState::Crashed(_) => "crashed",
+                    SessionState::Evicted(_) => "evicted",
+                    SessionState::Closed => "closed",
+                };
+                session_rows.push((
+                    sid,
+                    state,
+                    s.vars,
+                    s.mem_bytes,
+                    now.duration_since(s.created).as_millis() as u64,
+                    s.solves,
+                    s.conflicts,
+                    s.propagations,
+                    s.last_verdict.clone(),
+                ));
+            }
+        }
+
+        let mut in_flight_rows = Vec::new();
+        {
+            let inflight = lock(&self.inner.inflight);
+            let mut ids: Vec<u64> = inflight.keys().copied().collect();
+            ids.sort_unstable();
+            for rid in ids {
+                let r = &inflight[&rid];
+                in_flight_rows.push((
+                    rid,
+                    r.session,
+                    r.worker,
+                    now.duration_since(r.admitted_at).as_millis() as u64,
+                ));
+            }
+        }
+
+        let mut slow_rows: Vec<SlowRequest> = Vec::new();
+        {
+            let slow = lock(&self.inner.slow);
+            slow_rows.extend(slow.iter().cloned());
+        }
+
+        let mut out = Json::object()
+            .with("sessions", status.sessions.into())
+            .with("queued", status.queued.into())
+            .with("running", status.running.into())
+            .with("draining", status.draining.into())
+            .with("memory_bytes", status.memory_bytes.into())
+            .with("admitted", stats.admitted.into())
+            .with("rejected", stats.rejected.into())
+            .with("evicted", stats.evicted.into())
+            .with("crashed", stats.crashed.into())
+            .with("deadline_exceeded", stats.deadline_exceeded.into())
+            .with("completed", stats.completed.into());
+
+        let session_list: Vec<Json> = session_rows
+            .into_iter()
+            .map(
+                |(sid, state, vars, mem, age_ms, solves, conflicts, propagations, verdict)| {
+                    Json::object()
+                        .with("id", sid.into())
+                        .with("state", state.into())
+                        .with("vars", vars.into())
+                        .with("memory_bytes", mem.into())
+                        .with("age_ms", age_ms.into())
+                        .with("solves", solves.into())
+                        .with("conflicts", conflicts.into())
+                        .with("propagations", propagations.into())
+                        .with(
+                            "last_verdict",
+                            verdict.as_deref().map_or(Json::Null, Json::from),
+                        )
+                },
+            )
+            .collect();
+        out.set("session_list", Json::Array(session_list));
+
+        let in_flight: Vec<Json> = in_flight_rows
+            .into_iter()
+            .map(|(rid, session, worker, age_ms)| {
+                Json::object()
+                    .with("request_id", rid.into())
+                    .with("session", session.into())
+                    .with(
+                        "state",
+                        if worker.is_some() {
+                            "running".into()
+                        } else {
+                            "queued".into()
+                        },
+                    )
+                    .with("worker", worker.map_or(Json::Null, Json::from))
+                    .with("age_ms", age_ms.into())
+            })
+            .collect();
+        out.set("in_flight", Json::Array(in_flight));
+
+        let slow: Vec<Json> = slow_rows
+            .into_iter()
+            .map(|s| {
+                Json::object()
+                    .with("request_id", s.request_id.into())
+                    .with("session", s.session.into())
+                    .with("queue_wait_ms", s.queue_wait_ms.into())
+                    .with("solve_ms", s.solve_ms.into())
+                    .with("verdict", s.verdict.as_str().into())
+            })
+            .collect();
+        out.set("slow", Json::Array(slow));
+
+        out.set(
+            "metrics",
+            if metrics::armed() {
+                metrics::snapshot().to_json()
+            } else {
+                Json::Null
+            },
+        );
+        out
+    }
+
     /// True once a drain or shutdown began.
     pub fn draining(&self) -> bool {
         self.inner.draining.load(Ordering::Acquire)
@@ -733,6 +961,10 @@ impl Daemon {
             let _ = handle.join();
         }
         if let Some(records) = &self.inner.records {
+            // xtask: allow(lock-panic) the records lock exists to serialize this sink; cold drain path, poisoning recovered
+            lock(records).flush();
+        }
+        if let Some(records) = &self.inner.request_records {
             // xtask: allow(lock-panic) the records lock exists to serialize this sink; cold drain path, poisoning recovered
             lock(records).flush();
         }
@@ -759,6 +991,7 @@ impl Daemon {
     fn count_rejected(&self) {
         self.inner.stats.rejected.fetch_add(1, Ordering::AcqRel);
         metrics::inc(Counter::DaemonRejected);
+        trace::instant("daemon-reject");
     }
 
     fn count_evicted(&self) {
@@ -897,47 +1130,86 @@ fn next_job(inner: &Arc<Inner>) -> Option<Job> {
     }
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, worker_id: u64) {
     loop {
         let Some(job) = next_job(inner) else {
+            // Move this worker's trace ring into the collector so a
+            // post-drain export sees its lane.
+            trace::flush();
             return;
         };
+        if trace::armed() {
+            // Tagged per job, not per thread: tracing may be armed
+            // after the pool boots. Workers render one Chrome lane
+            // each, offset past the coordinator's pid 0.
+            trace::set_lane(worker_id as u32 + 1, &format!("daemon-worker-{worker_id}"));
+        }
         inner.running.fetch_add(1, Ordering::AcqRel);
         let taken = inner.jobs_taken.fetch_add(1, Ordering::AcqRel) + 1;
         inject_scheduler_stall(taken);
-        run_job(inner, job);
+        run_job(inner, job, worker_id);
         inner.running.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
 /// Executes one admitted solve end to end: checkout, isolated solve,
 /// checkin (or quarantine), telemetry, callback.
-fn run_job(inner: &Arc<Inner>, job: Job) {
+fn run_job(inner: &Arc<Inner>, job: Job, worker_id: u64) {
     let daemon = Daemon {
         inner: Arc::clone(inner),
     };
-    let outcome = execute_solve(&daemon, inner, job);
+    let request_id = job.request_id;
+    let outcome = execute_solve(&daemon, inner, job, worker_id);
     let (cb, result) = outcome;
     // The callback is foreign code (e.g. a connection writer); its
     // panics must not kill the worker.
-    let _ = run_isolated(move || cb(result));
+    let reply_span = trace::span_with("reply", &[("request", request_id)]);
+    let _ = run_isolated(move || cb(request_id, result));
+    drop(reply_span);
 }
 
 type SolveOutcome = (SolveCallback, Result<SolveReply, DaemonError>);
 
-fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job) -> SolveOutcome {
+fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job, worker_id: u64) -> SolveOutcome {
     let Job {
+        request_id,
         session: sid,
         assumptions,
         deadline_at,
+        admitted_at,
+        admit_ns,
         seq,
         cb,
     } = job;
 
+    // The request reached a worker: measure its queue wait, mark it
+    // running, and lay the retroactive queue-wait span into this
+    // worker's lane so the trace shows wait and solve back to back.
+    let queue_wait_ms = admitted_at.elapsed().as_secs_f64() * 1e3;
+    trace::span_retro(
+        "queue-wait",
+        admit_ns,
+        &[("request", request_id), ("session", sid)],
+    );
+    {
+        let mut inflight = lock(&inner.inflight);
+        if let Some(entry) = inflight.get_mut(&request_id) {
+            entry.worker = Some(worker_id);
+        }
+    }
+    let mut record = RequestRecord::new(request_id, sid);
+    record.worker = worker_id;
+    record.queue_wait_ms = queue_wait_ms;
+
     // Checkout: queued -> Busy, taking the solver onto this thread.
     let mut solver = match checkout_solver(inner, sid) {
         Ok(solver) => solver,
-        Err(err) => return (cb, err_outcome(err)),
+        Err(err) => {
+            record.verdict = "error".to_string();
+            record.error_kind = Some(err.kind().to_string());
+            finish_request(daemon, record);
+            return (cb, err_outcome(err));
+        }
     };
 
     let checkin = |solver: Box<Solver>, model: Option<Vec<bool>>, core: Option<Vec<Lit>>| {
@@ -952,9 +1224,14 @@ fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job) -> SolveOutcome 
         let verdict = Verdict::Unknown("deadline".to_string());
         let mem = checkin(solver, None, None);
         inner.stats.completed.fetch_add(1, Ordering::AcqRel);
+        record.verdict = "unknown".to_string();
+        record.stop_cause = Some("deadline".to_string());
+        record.degrade("daemon-degraded", "deadline");
+        finish_request(daemon, record);
         return (
             cb,
             Ok(SolveReply {
+                request_id,
                 verdict,
                 conflicts: 0,
                 propagations: 0,
@@ -967,7 +1244,11 @@ fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job) -> SolveOutcome 
     // A stale-frozen assumption is a client contract error, not a crash.
     if let Some(v) = solver.find_eliminated(&assumptions) {
         checkin(solver, None, None);
-        return (cb, err_outcome(DaemonError::EliminatedAssumption(sid, v)));
+        let err = DaemonError::EliminatedAssumption(sid, v);
+        record.verdict = "error".to_string();
+        record.error_kind = Some(err.kind().to_string());
+        finish_request(daemon, record);
+        return (cb, err_outcome(err));
     }
     solver.freeze_lits(&assumptions);
 
@@ -986,21 +1267,28 @@ fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job) -> SolveOutcome 
     budget.max_memory_bytes = Some(headroom);
 
     solver.set_telemetry(SolverTelemetry::new(format!("session-{sid}/solve-{seq}")));
-    trace::set_lane(sid as u32, &format!("session-{sid}"));
 
     let before = *solver.stats();
     let started = Instant::now();
+    let solve_span = trace::span_with("solve", &[("request", request_id), ("session", sid)]);
     let isolated = run_isolated(move || {
         inject_session_panic(sid, seq);
         let result = solver.solve_with_assumptions(&assumptions, budget);
         (solver, result)
     });
-    let duration_ms = started.elapsed().as_millis() as u64;
+    drop(solve_span);
+    let solve_ms = started.elapsed().as_secs_f64() * 1e3;
+    record.solve_ms = solve_ms;
+    let duration_ms = solve_ms as u64;
 
     let (mut solver, result) = match isolated {
         Ok(pair) => pair,
         Err(crash) => {
             quarantine_session(daemon, sid, &crash.message);
+            record.verdict = "error".to_string();
+            record.error_kind = Some("crashed".to_string());
+            record.degrade("session-crash", crash.message.clone());
+            finish_request(daemon, record);
             return (
                 cb,
                 err_outcome(DaemonError::SessionCrashed(sid, crash.message)),
@@ -1028,9 +1316,17 @@ fn execute_solve(daemon: &Daemon, inner: &Arc<Inner>, job: Job) -> SolveOutcome 
     emit_record(inner, &mut solver, &verdict);
     let mem = checkin(solver, model, core);
     inner.stats.completed.fetch_add(1, Ordering::AcqRel);
+    record.verdict = verdict.as_str().to_string();
+    if let Verdict::Unknown(cause) = &verdict {
+        record.stop_cause = Some(cause.clone());
+        record.degrade("daemon-degraded", cause.clone());
+    }
+    record.stats = after.delta_since(&before).to_json();
+    finish_request(daemon, record);
     (
         cb,
         Ok(SolveReply {
+            request_id,
             verdict,
             conflicts: after.conflicts.saturating_sub(before.conflicts),
             propagations: after.propagations.saturating_sub(before.propagations),
@@ -1134,6 +1430,63 @@ fn emit_record(inner: &Inner, solver: &mut Solver, verdict: &Verdict) {
             record.degrade("daemon-degraded", cause.clone());
         }
         lock(records).emit(&Event::SolveEnd { record });
+    }
+}
+
+/// The single terminal point of an admitted request: retires the
+/// in-flight entry, folds the request into the slow-request ring and
+/// the owning session's cumulative stats, bumps the completion counter,
+/// and appends the [`telemetry::RequestRecord`] to the request-records
+/// sink. Every admitted request — success, crash-quarantined,
+/// deadline-degraded, or drained at shutdown — passes through here
+/// exactly once.
+fn finish_request(daemon: &Daemon, record: RequestRecord) {
+    let inner = &daemon.inner;
+    {
+        let mut inflight = lock(&inner.inflight);
+        inflight.remove(&record.request_id);
+        if metrics::armed() {
+            metrics::set_gauge(Gauge::DaemonInFlight, inflight.len() as f64);
+        }
+    }
+    {
+        // Worst-N by total wall (queue wait + solve), bounded.
+        let mut slow = lock(&inner.slow);
+        slow.push(SlowRequest {
+            request_id: record.request_id,
+            session: record.session,
+            queue_wait_ms: record.queue_wait_ms,
+            solve_ms: record.solve_ms,
+            verdict: record.verdict.clone(),
+        });
+        let wall = |s: &SlowRequest| s.queue_wait_ms + s.solve_ms;
+        slow.sort_by(|a, b| {
+            wall(b)
+                .partial_cmp(&wall(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        slow.truncate(SLOW_RING);
+    }
+    {
+        let mut sessions = lock(&inner.sessions);
+        if let Some(session) = sessions.get_mut(&record.session) {
+            session.solves += 1;
+            session.conflicts += record
+                .stats
+                .get("conflicts")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            session.propagations += record
+                .stats
+                .get("propagations")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            session.last_verdict = Some(record.verdict.clone());
+        }
+    }
+    metrics::inc(Counter::DaemonCompleted);
+    if let Some(records) = &inner.request_records {
+        lock(records).emit(&Event::RequestEnd { record });
     }
 }
 

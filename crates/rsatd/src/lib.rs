@@ -27,6 +27,12 @@
 //! * **Graceful drain** — shutdown stops admissions, lets in-flight
 //!   solves finish (or deadline out), answers every queued request, and
 //!   flushes telemetry before returning.
+//! * **Per-request observability** — every admitted request gets a
+//!   daemon-minted `request_id` echoed on its wire reply and stamped on
+//!   exactly one terminal [`telemetry::RequestRecord`] JSONL line
+//!   (queue wait, solve wall, verdict, worker, solver stat deltas);
+//!   the `introspect` request exposes live metrics, per-session stats,
+//!   in-flight request ages, and a worst-N slow-request ring.
 //!
 //! Module map: [`daemon`] is the in-process service (typed API, worker
 //! pool, session store); [`proto`] is the newline-delimited JSON wire
@@ -44,8 +50,8 @@ pub mod server;
 
 pub use client::{Client, ClientError, WireReply};
 pub use daemon::{
-    Daemon, DaemonConfig, DaemonError, DaemonStats, DaemonStatus, SessionHandle, SolveReply,
-    Verdict,
+    Daemon, DaemonConfig, DaemonError, DaemonStats, DaemonStatus, SessionHandle, SolveCallback,
+    SolveReply, Verdict,
 };
 pub use proto::{parse_request, Envelope, Request, WireError, MAX_REQUEST_BYTES};
 pub use server::{serve_connection, serve_unix};

@@ -15,12 +15,19 @@
 //! <- {"id":3,"ok":true,"model":[1,-2,3]}
 //! ```
 //!
-//! Errors are always `{"id":…,"ok":false,"error":{"kind":…,"message":…}}`
-//! with `retry_after_ms` present exactly on `busy` rejections. Malformed
-//! input never kills the connection: an unparseable line is answered
-//! with `"kind":"malformed"` and a `null` id, an oversized line (over
-//! [`MAX_REQUEST_BYTES`]) with `"kind":"oversized"`, and an unknown
-//! `op` with `"kind":"unknown-op"`.
+//! Errors are always `{"id":…,"ok":false,"request_id":…,"error":
+//! {"kind":…,"message":…}}` with `retry_after_ms` present exactly on
+//! `busy` rejections. `request_id` is the daemon-minted id of the
+//! admitted request the error belongs to — explicitly `null` on
+//! pre-admission failures (malformed input, admission rejections), so a
+//! client can always distinguish "never admitted" from "admitted as
+//! request N and then failed". Solve replies carry the same
+//! `request_id`, matching the id in the daemon's per-request JSONL
+//! records. Malformed input never kills the connection: an unparseable
+//! line is answered with `"kind":"malformed"` and a `null` id, an
+//! oversized line (over [`MAX_REQUEST_BYTES`]) with
+//! `"kind":"oversized"`, and an unknown `op` with
+//! `"kind":"unknown-op"`.
 
 use telemetry::json::Json;
 
@@ -105,6 +112,10 @@ pub enum Request {
     },
     /// Daemon occupancy and robustness counters.
     Status,
+    /// Deep status: everything `status` reports plus a live metrics
+    /// snapshot, per-session state/stats, in-flight request ages, and
+    /// the slow-request ring.
+    Introspect,
     /// Graceful drain: stop admitting, finish in-flight work, exit.
     Shutdown,
 }
@@ -199,6 +210,7 @@ fn decode(value: &Json) -> Result<Request, WireError> {
             session: u64_field(value, "session")?,
         }),
         "status" => Ok(Request::Status),
+        "introspect" => Ok(Request::Introspect),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(WireError::new(
             "unknown-op",
@@ -283,8 +295,17 @@ pub fn ok_response(id: &Json, body: Json) -> String {
     out.to_string()
 }
 
-/// An error response: `{"id":…,"ok":false,"error":{…}}`.
-pub fn err_response(id: &Json, kind: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+/// An error response: `{"id":…,"ok":false,"request_id":…,"error":{…}}`.
+///
+/// `request_id` is always present: the daemon-minted id for errors of an
+/// admitted request, and an explicit `null` for pre-admission failures.
+pub fn err_response(
+    id: &Json,
+    kind: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+    request_id: Option<u64>,
+) -> String {
     let mut error = Json::object()
         .with("kind", kind.into())
         .with("message", message.into());
@@ -294,18 +315,29 @@ pub fn err_response(id: &Json, kind: &str, message: &str, retry_after_ms: Option
     Json::object()
         .with("id", id.clone())
         .with("ok", false.into())
+        .with("request_id", request_id.map_or(Json::Null, Json::from))
         .with("error", error)
         .to_string()
 }
 
-/// The error response for a [`DaemonError`].
-pub fn daemon_err_response(id: &Json, err: &DaemonError) -> String {
-    err_response(id, err.kind(), &err.to_string(), err.retry_after_ms())
+/// The error response for a [`DaemonError`]; `request_id` as in
+/// [`err_response`].
+pub fn daemon_err_response(id: &Json, err: &DaemonError, request_id: Option<u64>) -> String {
+    err_response(
+        id,
+        err.kind(),
+        &err.to_string(),
+        err.retry_after_ms(),
+        request_id,
+    )
 }
 
-/// The success response for a completed solve.
+/// The success response for a completed solve, carrying the
+/// daemon-minted `request_id` that also names the solve's JSONL
+/// [`telemetry::RequestRecord`].
 pub fn solve_response(id: &Json, reply: &SolveReply) -> String {
     let mut body = Json::object()
+        .with("request_id", reply.request_id.into())
         .with("verdict", reply.verdict.as_str().into())
         .with("conflicts", reply.conflicts.into())
         .with("propagations", reply.propagations.into())

@@ -138,6 +138,7 @@ pub fn serve_connection(
                         "oversized",
                         &format!("request exceeds the {MAX_REQUEST_BYTES} byte cap"),
                         None,
+                        None,
                     ),
                 );
                 continue;
@@ -152,7 +153,10 @@ pub fn serve_connection(
         let request = match envelope.req {
             Ok(request) => request,
             Err(wire) => {
-                write_line(&slot, &err_response(&id, wire.kind, &wire.message, None));
+                write_line(
+                    &slot,
+                    &err_response(&id, wire.kind, &wire.message, None, None),
+                );
                 continue;
             }
         };
@@ -171,19 +175,21 @@ pub fn serve_connection(
                     session,
                     assumptions,
                     deadline,
-                    Box::new(move |outcome| {
+                    Box::new(move |request_id, outcome| {
                         let response = match outcome {
                             Ok(reply) => proto::solve_response(&cb_id, &reply),
-                            Err(err) => daemon_err_response(&cb_id, &err),
+                            Err(err) => daemon_err_response(&cb_id, &err, Some(request_id)),
                         };
                         write_line(&cb_slot, &response);
                         cb_in_flight.fetch_sub(1, Ordering::AcqRel);
                     }),
                 );
                 if let Err(err) = submitted {
-                    // Rejected at admission: the callback never runs.
+                    // Rejected at admission: the callback never runs and
+                    // no request id was minted — the reply says so with
+                    // an explicit `request_id: null`.
                     in_flight.fetch_sub(1, Ordering::AcqRel);
-                    write_line(&slot, &daemon_err_response(&id, &err));
+                    write_line(&slot, &daemon_err_response(&id, &err, None));
                 }
             }
             Request::Shutdown => {
@@ -260,13 +266,16 @@ fn dispatch_sync(daemon: &Daemon, id: &Json, request: Request) -> String {
                 .with("deadline_exceeded", stats.deadline_exceeded.into())
                 .with("completed", stats.completed.into()))
         }
+        Request::Introspect => Ok(daemon.introspect()),
         Request::Solve { .. } | Request::Shutdown => {
             unreachable!("handled asynchronously by the read loop")
         }
     };
     match outcome {
         Ok(body) => ok_response(id, body),
-        Err(err) => daemon_err_response(id, &err),
+        // Synchronous requests are never admitted solves, so their
+        // errors carry `request_id: null`.
+        Err(err) => daemon_err_response(id, &err, None),
     }
 }
 

@@ -186,7 +186,7 @@ fn overload_rejects_busy_in_bounded_time_while_admitted_work_finishes() {
                 sid,
                 vec![],
                 None,
-                Box::new(move |outcome| {
+                Box::new(move |_rid, outcome| {
                     let _ = tx.send((sid, outcome));
                 }),
             )
@@ -324,7 +324,7 @@ fn drain_is_clean_under_every_plan() {
                     sid,
                     vec![],
                     None,
-                    Box::new(move |outcome| {
+                    Box::new(move |_rid, outcome| {
                         let _ = tx.send((sid, outcome));
                     }),
                 )
@@ -356,6 +356,197 @@ fn drain_is_clean_under_every_plan() {
             "plan `{plan_text}`: drain must answer every admitted solve"
         );
         drop(scope);
+    }
+}
+
+fn temp_records_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rsatd-chaos-records-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Parses every line of a request-records file, panicking on a torn or
+/// non-JSON line.
+fn read_records(path: &std::path::Path) -> Vec<telemetry::json::Json> {
+    let raw = std::fs::read_to_string(path).expect("records file exists");
+    assert!(
+        raw.is_empty() || raw.ends_with('\n'),
+        "records file must end on a line boundary: {raw:?}"
+    );
+    raw.lines()
+        .map(|line| {
+            telemetry::json::Json::parse(line)
+                .unwrap_or_else(|e| panic!("torn record line {line:?}: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn every_admitted_request_emits_exactly_one_terminal_record() {
+    use telemetry::json::Json;
+
+    // One injected crash (session 2), two healthy sessions, plus a
+    // zero-deadline solve that degrades in the queue — every admitted
+    // request, however it ends, must leave exactly one terminal
+    // RequestRecord, and shutdown's drain must not lose the tail.
+    let plan: faults::FaultPlan = "session-panic(session=2)".parse().unwrap();
+    let scope = faults::install(plan);
+
+    let records_path = temp_records_path("exactly-once");
+    let daemon = Daemon::start(DaemonConfig {
+        request_records_path: Some(records_path.clone()),
+        ..chaos_config()
+    });
+    let instances: Vec<(u64, Verdict)> = (0..3).map(|i| open_instance(&daemon, 200 + i)).collect();
+
+    let (tx, rx) = mpsc::channel();
+    let mut admitted = Vec::new();
+    for &(sid, _) in &instances {
+        let tx = tx.clone();
+        let rid = daemon
+            .submit_solve(
+                sid,
+                vec![],
+                None,
+                Box::new(move |rid, outcome| {
+                    let _ = tx.send((rid, outcome));
+                }),
+            )
+            .expect("admission");
+        admitted.push(rid);
+    }
+    // The zero-deadline solve gets its own session: the others are
+    // still Busy with their first solve, and a session admits one
+    // in-flight solve at a time.
+    let (deadline_sid, _) = open_instance(&daemon, 250);
+    let deadline_tx = tx.clone();
+    admitted.push(
+        daemon
+            .submit_solve(
+                deadline_sid,
+                vec![],
+                Some(Duration::ZERO),
+                Box::new(move |rid, outcome| {
+                    let _ = deadline_tx.send((rid, outcome));
+                }),
+            )
+            .expect("admission"),
+    );
+    // Shutdown immediately: whatever is still queued is drained, not
+    // dropped, so its records land too.
+    daemon.shutdown();
+    assert_eq!(scope.fired(faults::site::SESSION_PANIC), 1);
+
+    // Every admitted request answered its callback with its own id.
+    let mut answered: Vec<u64> = Vec::new();
+    while let Ok((rid, _)) = rx.try_recv() {
+        answered.push(rid);
+    }
+    answered.sort_unstable();
+    let mut expected = admitted.clone();
+    expected.sort_unstable();
+    assert_eq!(answered, expected, "one callback per admitted request");
+
+    let records = read_records(&records_path);
+    let mut recorded: Vec<u64> = records
+        .iter()
+        .map(|line| {
+            assert_eq!(
+                line.get("event").and_then(Json::as_str),
+                Some("request_end"),
+                "unexpected event line: {line}"
+            );
+            line.get("record")
+                .and_then(|r| r.get("request_id"))
+                .and_then(Json::as_u64)
+                .expect("record carries its request_id")
+        })
+        .collect();
+    recorded.sort_unstable();
+    assert_eq!(
+        recorded, expected,
+        "exactly one terminal record per admitted request"
+    );
+
+    // The crash and the deadline degradation are both visible in the
+    // records, not just in callbacks.
+    let field = |line: &Json, key: &str| {
+        line.get("record")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert!(
+        records
+            .iter()
+            .any(|l| field(l, "error_kind").as_deref() == Some("crashed")),
+        "the quarantined solve must record error_kind=crashed"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|l| field(l, "stop_cause").as_deref() == Some("deadline")),
+        "the zero-deadline solve must record stop_cause=deadline"
+    );
+    let _ = std::fs::remove_file(&records_path);
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_truncate_never_tears_a_record_line() {
+    use rsatd::serve_connection;
+    use std::io::{BufReader, Read as _, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    // Sweep the truncation budget across "dies instantly", "dies
+    // mid-reply", and "survives": in every case the records file — a
+    // different sink than the socket — holds exactly one complete JSONL
+    // line for the admitted solve.
+    for budget in [0u64, 8, 24, 64, 400] {
+        let plan: faults::FaultPlan = format!("socket-truncate(after={budget})").parse().unwrap();
+        let _scope = faults::install(plan);
+
+        let records_path = temp_records_path("truncate");
+        let daemon = Daemon::start(DaemonConfig {
+            request_records_path: Some(records_path.clone()),
+            ..chaos_config()
+        });
+        // Open via the typed API so the doomed connection's first write
+        // is the solve reply itself, truncated at the byte budget.
+        let (sid, _) = open_instance(&daemon, 300 + budget);
+
+        let (server_side, client_side) = UnixStream::pair().unwrap();
+        let d = daemon.clone();
+        let server = std::thread::spawn(move || {
+            let reader = BufReader::new(server_side.try_clone().unwrap());
+            serve_connection(&d, reader, server_side);
+        });
+        // Raw write + half-close instead of a Client: the reply may die
+        // at the budget before the line completes, so a synchronous
+        // round-trip could block forever waiting for it. Half-closing
+        // lets the read loop see EOF while the solve is in flight.
+        let mut writer = client_side.try_clone().unwrap();
+        writeln!(writer, "{{\"id\":1,\"op\":\"solve\",\"session\":{sid}}}").unwrap();
+        client_side
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        // Drain whatever fraction of the reply survives the budget.
+        let mut drained = String::new();
+        let _ = BufReader::new(client_side).read_to_string(&mut drained);
+        server.join().unwrap();
+        daemon.shutdown();
+
+        let records = read_records(&records_path);
+        assert_eq!(
+            records.len(),
+            1,
+            "budget {budget}: the admitted solve leaves exactly one complete record"
+        );
+        let _ = std::fs::remove_file(&records_path);
     }
 }
 

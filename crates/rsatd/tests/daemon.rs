@@ -236,7 +236,7 @@ fn drain_rejects_new_work_and_shutdown_answers_all_inflight() {
                 sid,
                 vec![],
                 None,
-                Box::new(move |outcome| {
+                Box::new(move |_rid, outcome| {
                     let _ = tx.send(outcome);
                 }),
             )
@@ -275,7 +275,7 @@ fn concurrent_solve_on_same_session_is_typed_busy() {
             sid,
             vec![],
             None,
-            Box::new(move |outcome| {
+            Box::new(move |_rid, outcome| {
                 let _ = tx.send(outcome);
             }),
         )

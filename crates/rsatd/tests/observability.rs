@@ -1,0 +1,351 @@
+//! Per-request observability: daemon-minted request ids on the wire,
+//! terminal `RequestRecord` JSONL emission, and the `introspect` RPC.
+//!
+//! The binary round-trip test doubles as the CI smoke: it spawns the
+//! real `rsatd` binary over stdio with `--records-out`, drives a mixed
+//! batch of solves (including a forced pre-admission rejection), and
+//! proves every reply's `request_id` appears in exactly one record.
+
+use std::io::BufReader;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use rsatd::{Client, ClientError, Daemon, DaemonConfig, Verdict};
+use telemetry::json::Json;
+
+/// 3 variables, satisfiable, forced `x2 = true`; UNSAT under `-2`.
+const SAT_CLAUSES: &[&[i64]] = &[&[1, 2], &[-1, 2], &[2, 3]];
+
+fn sat_clauses() -> Vec<Vec<i64>> {
+    SAT_CLAUSES.iter().map(|c| c.to_vec()).collect()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "rsatd-observability-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn keys(value: &Json) -> Vec<&str> {
+    value
+        .as_object()
+        .expect("a JSON object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+#[test]
+fn binary_round_trips_request_ids_from_replies_to_records() {
+    let records_path = temp_path("e2e");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsatd"))
+        .arg("--stdio")
+        .arg("--records-out")
+        .arg(&records_path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn rsatd");
+    let stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut client = Client::new(stdout, stdin);
+
+    // 20 mixed solves across three sessions: every fourth flips to
+    // UNSAT under the assumption `-2`.
+    let sids: Vec<u64> = (0..3)
+        .map(|_| client.open(3, false, &sat_clauses(), &[2]).expect("open"))
+        .collect();
+    let mut reply_ids = Vec::new();
+    for i in 0..20usize {
+        let sid = sids[i % sids.len()];
+        let assumptions: &[i64] = if i % 4 == 3 { &[-2] } else { &[] };
+        let reply = client.solve(sid, assumptions, None).expect("solve");
+        let expected = if i % 4 == 3 { "unsat" } else { "sat" };
+        assert_eq!(reply.verdict, expected, "solve {i}");
+        assert!(reply.request_id > 0, "replies carry the daemon-minted id");
+        reply_ids.push(reply.request_id);
+    }
+
+    // A forced rejection: an unknown session fails before admission,
+    // with an explicit null request id on the error reply.
+    let err = client
+        .solve(9999, &[], None)
+        .expect_err("unknown session is rejected");
+    match err {
+        ClientError::Daemon {
+            ref kind,
+            request_id,
+            ..
+        } => {
+            assert_eq!(kind, "no-such-session");
+            assert_eq!(
+                request_id, None,
+                "pre-admission errors carry request_id: null"
+            );
+        }
+        other => panic!("expected a daemon error, got {other}"),
+    }
+
+    // introspect over the wire: per-session cumulative stats are live.
+    let snap = client.introspect().expect("introspect");
+    let session_list = snap
+        .get("session_list")
+        .and_then(Json::as_array)
+        .expect("session_list array");
+    assert_eq!(session_list.len(), sids.len());
+    let total_solves: u64 = session_list
+        .iter()
+        .map(|s| s.get("solves").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    assert_eq!(total_solves, 20, "introspect sums the completed solves");
+    assert!(
+        !snap
+            .get("slow")
+            .and_then(Json::as_array)
+            .expect("slow ring")
+            .is_empty(),
+        "the slow-request ring has entries after 20 solves"
+    );
+
+    client.shutdown().expect("shutdown");
+    drop(client);
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "rsatd exits cleanly: {status:?}");
+
+    // Exactly one terminal record per admitted request, ids verbatim.
+    let raw = std::fs::read_to_string(&records_path).expect("records written");
+    assert!(raw.ends_with('\n'), "records end on a line boundary");
+    let mut recorded: Vec<u64> = raw
+        .lines()
+        .map(|line| {
+            let parsed = Json::parse(line).unwrap_or_else(|e| panic!("torn line {line:?}: {e}"));
+            assert_eq!(
+                parsed.get("event").and_then(Json::as_str),
+                Some("request_end")
+            );
+            let record = parsed.get("record").expect("record body");
+            assert!(
+                matches!(
+                    record.get("verdict").and_then(Json::as_str),
+                    Some("sat" | "unsat")
+                ),
+                "unexpected verdict in {line}"
+            );
+            record
+                .get("request_id")
+                .and_then(Json::as_u64)
+                .expect("record id")
+        })
+        .collect();
+    recorded.sort_unstable();
+    let mut expected = reply_ids;
+    expected.sort_unstable();
+    assert_eq!(
+        recorded, expected,
+        "every reply id appears in exactly one record; the rejection in none"
+    );
+    let _ = std::fs::remove_file(&records_path);
+}
+
+/// With the `trace` feature, `--trace-out` exports a Chrome trace whose
+/// worker lanes carry the queue-wait/solve/reply spans `bench`'s
+/// `trace-report --daemon` consumes.
+#[cfg(feature = "trace")]
+#[test]
+fn trace_out_writes_worker_span_lanes() {
+    let trace_path = temp_path("trace");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsatd"))
+        .arg("--stdio")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn rsatd");
+    let stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut client = Client::new(stdout, stdin);
+
+    let sid = client.open(3, false, &sat_clauses(), &[2]).expect("open");
+    for _ in 0..4 {
+        client.solve(sid, &[], None).expect("solve");
+    }
+    client.shutdown().expect("shutdown");
+    drop(client);
+    assert!(child.wait().expect("child exits").success());
+
+    let raw = std::fs::read_to_string(&trace_path).expect("trace written");
+    let doc = Json::parse(&raw).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("Chrome trace shape");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| ev.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["queue-wait", "solve", "reply", "daemon-admit"] {
+        assert!(names.contains(&expected), "missing {expected} events");
+    }
+    assert!(
+        raw.contains("daemon-worker-0"),
+        "worker lanes are labelled for Perfetto"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn introspect_wire_shape_is_pinned() {
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 2,
+        default_deadline: Duration::from_secs(5),
+        ..DaemonConfig::default()
+    });
+    let sid = daemon.open(3, false).unwrap();
+    daemon.add_clauses(sid, &sat_clauses()).unwrap();
+    let first = daemon.solve(sid, &[], None).unwrap();
+    assert_eq!(first.verdict, Verdict::Sat);
+    let second = daemon.solve(sid, &[-2], None).unwrap();
+    assert_eq!(second.verdict, Verdict::Unsat);
+
+    let snap = daemon.introspect();
+    // The golden key sets: removing or renaming any of these breaks
+    // dashboards reading the introspect reply — extend, don't mutate.
+    assert_eq!(
+        keys(&snap),
+        [
+            "sessions",
+            "queued",
+            "running",
+            "draining",
+            "memory_bytes",
+            "admitted",
+            "rejected",
+            "evicted",
+            "crashed",
+            "deadline_exceeded",
+            "completed",
+            "session_list",
+            "in_flight",
+            "slow",
+            "metrics",
+        ]
+    );
+    let session_list = snap.get("session_list").and_then(Json::as_array).unwrap();
+    assert_eq!(session_list.len(), 1);
+    assert_eq!(
+        keys(&session_list[0]),
+        [
+            "id",
+            "state",
+            "vars",
+            "memory_bytes",
+            "age_ms",
+            "solves",
+            "conflicts",
+            "propagations",
+            "last_verdict",
+        ]
+    );
+    assert_eq!(
+        session_list[0].get("state").and_then(Json::as_str),
+        Some("idle")
+    );
+    assert_eq!(
+        session_list[0].get("solves").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        session_list[0].get("last_verdict").and_then(Json::as_str),
+        Some("unsat")
+    );
+
+    // Both solves are done: nothing in flight, both in the slow ring,
+    // worst (longest wall) first.
+    assert_eq!(
+        snap.get("in_flight")
+            .and_then(Json::as_array)
+            .unwrap()
+            .len(),
+        0
+    );
+    let slow = snap.get("slow").and_then(Json::as_array).unwrap();
+    assert_eq!(slow.len(), 2);
+    assert_eq!(
+        keys(&slow[0]),
+        [
+            "request_id",
+            "session",
+            "queue_wait_ms",
+            "solve_ms",
+            "verdict"
+        ]
+    );
+    let wall = |s: &Json| {
+        s.get("queue_wait_ms").and_then(Json::as_f64).unwrap()
+            + s.get("solve_ms").and_then(Json::as_f64).unwrap()
+    };
+    assert!(wall(&slow[0]) >= wall(&slow[1]), "ring is worst-first");
+
+    // The metrics key is always present (null when the feature is off).
+    assert!(snap.get("metrics").is_some());
+    daemon.shutdown();
+}
+
+#[test]
+fn typed_api_reports_request_ids_and_records_errors() {
+    // The typed SessionHandle path and error replies: a solve on a
+    // crashed-or-missing session via submit_solve is rejected without
+    // minting an id, while admitted solves get monotonically increasing
+    // ids.
+    let records_path = temp_path("typed");
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 1,
+        request_records_path: Some(records_path.clone()),
+        ..DaemonConfig::default()
+    });
+    let sid = daemon.open(3, false).unwrap();
+    daemon.add_clauses(sid, &sat_clauses()).unwrap();
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    let mut submitted = Vec::new();
+    for _ in 0..3 {
+        let tx = tx.clone();
+        let rid = daemon
+            .submit_solve(
+                sid,
+                vec![],
+                None,
+                Box::new(move |rid, outcome| {
+                    let _ = tx.send((rid, outcome));
+                }),
+            )
+            .expect("admitted");
+        submitted.push(rid);
+        // One at a time: the session admits a single in-flight solve.
+        let (cb_rid, outcome) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(cb_rid, rid, "callback sees the id submit returned");
+        assert_eq!(outcome.unwrap().request_id, rid, "reply carries the id");
+    }
+    assert!(
+        submitted.windows(2).all(|w| w[0] < w[1]),
+        "ids are monotonically increasing: {submitted:?}"
+    );
+
+    // Pre-admission rejection mints nothing.
+    let err = daemon
+        .submit_solve(424242, vec![], None, Box::new(|_, _| {}))
+        .expect_err("unknown session");
+    assert_eq!(err.kind(), "no-such-session");
+
+    daemon.shutdown();
+    let raw = std::fs::read_to_string(&records_path).unwrap();
+    assert_eq!(raw.lines().count(), submitted.len());
+    let _ = std::fs::remove_file(&records_path);
+}

@@ -309,6 +309,24 @@ impl SolverStats {
             self.glue_sum as f64 / self.learned_clauses as f64
         }
     }
+
+    /// Per-field difference `self - before`, saturating at zero.
+    ///
+    /// An incremental session's solver accumulates counters across its
+    /// whole lifetime; the delta attributes work to one solve call.
+    pub fn delta_since(&self, before: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(before.decisions),
+            propagations: self.propagations.saturating_sub(before.propagations),
+            conflicts: self.conflicts.saturating_sub(before.conflicts),
+            restarts: self.restarts.saturating_sub(before.restarts),
+            reductions: self.reductions.saturating_sub(before.reductions),
+            learned_clauses: self.learned_clauses.saturating_sub(before.learned_clauses),
+            deleted_clauses: self.deleted_clauses.saturating_sub(before.deleted_clauses),
+            minimized_lits: self.minimized_lits.saturating_sub(before.minimized_lits),
+            glue_sum: self.glue_sum.saturating_sub(before.glue_sum),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +388,30 @@ mod tests {
         ] {
             assert_eq!(cause.as_str(), name);
         }
+    }
+
+    #[test]
+    fn stats_delta_is_per_field_and_saturating() {
+        let before = SolverStats {
+            decisions: 10,
+            propagations: 100,
+            conflicts: 5,
+            ..SolverStats::default()
+        };
+        let after = SolverStats {
+            decisions: 15,
+            propagations: 180,
+            conflicts: 5,
+            learned_clauses: 3,
+            ..SolverStats::default()
+        };
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.decisions, 5);
+        assert_eq!(delta.propagations, 80);
+        assert_eq!(delta.conflicts, 0);
+        assert_eq!(delta.learned_clauses, 3);
+        // A (theoretical) regression saturates instead of wrapping.
+        assert_eq!(before.delta_since(&after).decisions, 0);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod sink;
 
 pub use histogram::Histogram;
 pub use phase::{Phase, PhaseGuard, PhaseTimes};
-pub use record::{Degradation, RunRecord};
+pub use record::{Degradation, RequestRecord, RunRecord};
 pub use registry::Registry;
 pub use sink::{Event, JsonlSink, MemorySink, NullSink, Sink};
 

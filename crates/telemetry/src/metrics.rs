@@ -140,11 +140,14 @@ pub enum Counter {
     DaemonCrashed,
     /// Daemon solves degraded to `unknown` by their deadline.
     DaemonDeadlineExceeded,
+    /// Daemon requests that reached a terminal record (any verdict,
+    /// including degraded and error outcomes).
+    DaemonCompleted,
 }
 
 impl Counter {
     /// All counters, in registry (and serialization) order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 28] = [
         Counter::Propagations,
         Counter::Conflicts,
         Counter::Decisions,
@@ -172,6 +175,7 @@ impl Counter {
         Counter::DaemonEvicted,
         Counter::DaemonCrashed,
         Counter::DaemonDeadlineExceeded,
+        Counter::DaemonCompleted,
     ];
 
     /// The stable wire name (see the `metrics-names` manifest rule).
@@ -205,6 +209,7 @@ impl Counter {
             Counter::DaemonEvicted => "daemon.evicted",
             Counter::DaemonCrashed => "daemon.crashed",
             Counter::DaemonDeadlineExceeded => "daemon.deadline_exceeded",
+            Counter::DaemonCompleted => "daemon.completed",
         }
         // metrics-names:end counters
     }
@@ -241,17 +246,21 @@ pub enum Gauge {
     DaemonSessions,
     /// Aggregate approximate memory of the daemon's live solvers, bytes.
     DaemonMemoryBytes,
+    /// Daemon requests currently queued or running (admitted, not yet
+    /// terminal).
+    DaemonInFlight,
 }
 
 impl Gauge {
     /// All gauges, in registry (and serialization) order.
-    pub const ALL: [Gauge; 6] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::MemoryBytes,
         Gauge::LiveLearned,
         Gauge::InferenceLastSeconds,
         Gauge::PolicyConfidence,
         Gauge::DaemonSessions,
         Gauge::DaemonMemoryBytes,
+        Gauge::DaemonInFlight,
     ];
 
     /// The stable wire name (see the `metrics-names` manifest rule).
@@ -264,6 +273,7 @@ impl Gauge {
             Gauge::PolicyConfidence => "pipeline.policy_confidence",
             Gauge::DaemonSessions => "daemon.sessions",
             Gauge::DaemonMemoryBytes => "daemon.memory_bytes",
+            Gauge::DaemonInFlight => "daemon.in_flight",
         }
         // metrics-names:end gauges
     }

@@ -196,6 +196,144 @@ impl FromJson for RunRecord {
     }
 }
 
+/// One admitted daemon request, summarized: the daemon-side sibling of
+/// [`RunRecord`]. Where a `RunRecord` describes what a *solver* did, a
+/// `RequestRecord` describes what the *service* did around it: which
+/// session and worker handled the request, how long it waited in the
+/// queue versus solved, and how it terminated (verdict, stop cause, or
+/// typed error kind). Exactly one is emitted per admitted request — the
+/// accounting unit for admission tuning and tail-latency triage.
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::json::{FromJson, ToJson};
+/// use telemetry::RequestRecord;
+///
+/// let mut record = RequestRecord::new(7, 3);
+/// record.verdict = "sat".to_string();
+/// record.queue_wait_ms = 2.5;
+/// record.solve_ms = 40.0;
+/// let roundtripped = RequestRecord::from_json(&record.to_json()).unwrap();
+/// assert_eq!(record, roundtripped);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Schema version of this record (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Daemon-minted request id, echoed verbatim in the wire reply.
+    pub request_id: u64,
+    /// Session the request addressed.
+    pub session: u64,
+    /// Worker thread index that executed the request.
+    pub worker: u64,
+    /// Milliseconds spent queued between admission and checkout.
+    pub queue_wait_ms: f64,
+    /// Milliseconds of solver wall-clock (0 for pre-solve failures).
+    pub solve_ms: f64,
+    /// Terminal verdict: `"sat"`, `"unsat"`, `"unknown"`, or `"error"`.
+    pub verdict: String,
+    /// Stop cause of an `"unknown"` verdict (`"deadline"`, `"memory"`, …).
+    pub stop_cause: Option<String>,
+    /// Error kind of an `"error"` verdict (`"crashed"`, `"eliminated"`, …).
+    pub error_kind: Option<String>,
+    /// Solver stat *deltas* attributable to this request (serialized
+    /// `SolverStats`), or an empty object when the solver never ran.
+    pub stats: Json,
+    /// Degraded-mode events of this request, in occurrence order.
+    pub degradations: Vec<Degradation>,
+}
+
+impl RequestRecord {
+    /// A fresh record for request `request_id` on session `session`.
+    pub fn new(request_id: u64, session: u64) -> Self {
+        RequestRecord {
+            schema_version: SCHEMA_VERSION,
+            request_id,
+            session,
+            worker: 0,
+            queue_wait_ms: 0.0,
+            solve_ms: 0.0,
+            verdict: String::new(),
+            stop_cause: None,
+            error_kind: None,
+            stats: Json::object(),
+            degradations: Vec::new(),
+        }
+    }
+
+    /// Appends a degraded-mode event to this record.
+    pub fn degrade(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.degradations.push(Degradation::new(kind, detail));
+    }
+}
+
+impl ToJson for RequestRecord {
+    fn to_json(&self) -> Json {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => Json::from(s.as_str()),
+            None => Json::Null,
+        };
+        Json::object()
+            .with("schema_version", Json::from(self.schema_version))
+            .with("request_id", Json::from(self.request_id))
+            .with("session", Json::from(self.session))
+            .with("worker", Json::from(self.worker))
+            .with("queue_wait_ms", Json::from(self.queue_wait_ms))
+            .with("solve_ms", Json::from(self.solve_ms))
+            .with("verdict", Json::from(self.verdict.as_str()))
+            .with("stop_cause", opt_str(&self.stop_cause))
+            .with("error_kind", opt_str(&self.error_kind))
+            .with("stats", self.stats.clone())
+            .with(
+                "degradations",
+                Json::Array(self.degradations.iter().map(ToJson::to_json).collect()),
+            )
+    }
+}
+
+impl FromJson for RequestRecord {
+    fn from_json(value: &Json) -> Result<Self, FromJsonError> {
+        let u64_field = |key: &str| -> Result<u64, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or(FromJsonError::field(key))
+        };
+        let f64_field = |key: &str| -> Result<f64, FromJsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(FromJsonError::field(key))
+        };
+        let opt_str = |key: &str| value.get(key).and_then(Json::as_str).map(str::to_string);
+        Ok(RequestRecord {
+            schema_version: u64_field("schema_version")? as u32,
+            request_id: u64_field("request_id")?,
+            session: u64_field("session")?,
+            worker: u64_field("worker")?,
+            queue_wait_ms: f64_field("queue_wait_ms")?,
+            solve_ms: f64_field("solve_ms")?,
+            verdict: value
+                .get("verdict")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(FromJsonError::field("verdict"))?,
+            stop_cause: opt_str("stop_cause"),
+            error_kind: opt_str("error_kind"),
+            stats: value.get("stats").cloned().unwrap_or(Json::object()),
+            degradations: match value.get("degradations") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Array(items)) => items
+                    .iter()
+                    .map(Degradation::from_json)
+                    .collect::<Result<_, _>>()?,
+                Some(_) => return Err(FromJsonError::field("degradations")),
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +369,38 @@ mod tests {
         };
         fields.retain(|(k, _)| k != "instance_id");
         assert!(RunRecord::from_json(&Json::Object(fields)).is_err());
+    }
+
+    #[test]
+    fn roundtrip_full_request_record() {
+        let mut r = RequestRecord::new(42, 7);
+        r.worker = 1;
+        r.queue_wait_ms = 3.25;
+        r.solve_ms = 120.5;
+        r.verdict = "unknown".to_string();
+        r.stop_cause = Some("deadline".to_string());
+        r.stats = Json::object().with("conflicts", Json::from(9u64));
+        r.degrade("daemon-degraded", "deadline");
+        assert_eq!(RequestRecord::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn error_request_record_roundtrips_with_null_stop_cause() {
+        let mut r = RequestRecord::new(1, 2);
+        r.verdict = "error".to_string();
+        r.error_kind = Some("crashed".to_string());
+        let j = r.to_json();
+        assert_eq!(j.get("stop_cause"), Some(&Json::Null));
+        assert_eq!(RequestRecord::from_json(&j).unwrap(), r);
+    }
+
+    #[test]
+    fn request_record_missing_required_field_is_an_error() {
+        let j = RequestRecord::new(1, 2).to_json();
+        let Json::Object(mut fields) = j else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "request_id");
+        assert!(RequestRecord::from_json(&Json::Object(fields)).is_err());
     }
 }

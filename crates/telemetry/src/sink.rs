@@ -2,7 +2,7 @@
 //! the solver.
 
 use crate::json::{FromJson, FromJsonError, Json, ToJson};
-use crate::record::RunRecord;
+use crate::record::{RequestRecord, RunRecord};
 use crate::SCHEMA_VERSION;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -64,6 +64,12 @@ pub enum Event {
         /// Per-instance run summary.
         record: RunRecord,
     },
+    /// An admitted daemon request reached its terminal state; carries
+    /// the per-request accounting summary.
+    RequestEnd {
+        /// Per-request daemon summary.
+        record: RequestRecord,
+    },
 }
 
 impl Event {
@@ -74,6 +80,7 @@ impl Event {
             Event::Progress { .. } => "progress",
             Event::Reduction { .. } => "reduction",
             Event::SolveEnd { .. } => "solve_end",
+            Event::RequestEnd { .. } => "request_end",
         }
     }
 }
@@ -123,6 +130,7 @@ impl ToJson for Event {
                 .with("learned_after", Json::from(*learned_after))
                 .with("conflicts", Json::from(*conflicts)),
             Event::SolveEnd { record } => base.with("record", record.to_json()),
+            Event::RequestEnd { record } => base.with("record", record.to_json()),
         }
     }
 }
@@ -178,6 +186,11 @@ impl FromJson for Event {
             }),
             "solve_end" => Ok(Event::SolveEnd {
                 record: RunRecord::from_json(
+                    value.get("record").ok_or(FromJsonError::field("record"))?,
+                )?,
+            }),
+            "request_end" => Ok(Event::RequestEnd {
+                record: RequestRecord::from_json(
                     value.get("record").ok_or(FromJsonError::field("record"))?,
                 )?,
             }),
@@ -311,6 +324,10 @@ mod tests {
     fn sample_events() -> Vec<Event> {
         let mut record = RunRecord::new("inst-1", "prop-freq");
         record.result = "SAT".to_string();
+        let mut request = RequestRecord::new(9, 4);
+        request.verdict = "sat".to_string();
+        request.queue_wait_ms = 1.5;
+        request.solve_ms = 12.0;
         vec![
             Event::SolveStart {
                 instance_id: "inst-1".to_string(),
@@ -335,6 +352,7 @@ mod tests {
                 conflicts: 2000,
             },
             Event::SolveEnd { record },
+            Event::RequestEnd { record: request },
         ]
     }
 
@@ -359,7 +377,7 @@ mod tests {
         }
         let out = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         for (line, event) in lines.iter().zip(sample_events()) {
             let parsed = Json::parse(line).unwrap();
             assert_eq!(Event::from_json(&parsed).unwrap(), event);
@@ -373,7 +391,7 @@ mod tests {
         for event in sample_events() {
             sink.emit(&event);
         }
-        assert_eq!(handle.lock().unwrap().len(), 4);
+        assert_eq!(handle.lock().unwrap().len(), 5);
         assert_eq!(sink.events(), sample_events());
     }
 

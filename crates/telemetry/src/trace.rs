@@ -240,6 +240,65 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { name, live }
 }
 
+/// Opens a span like [`span`], attaching up to [`MAX_ARGS`] integer
+/// arguments to its begin event (extra pairs are ignored). The exporter
+/// carries the arguments on the resulting complete event.
+pub fn span_with(name: &'static str, args: &[(&'static str, u64)]) -> SpanGuard {
+    let live = armed();
+    if live {
+        let mut packed = NO_ARGS;
+        for (slot, arg) in packed.iter_mut().zip(args.iter()) {
+            *slot = *arg;
+        }
+        record(TraceEvent {
+            kind: TraceKind::Begin,
+            name,
+            t_ns: now_ns(),
+            args: packed,
+        });
+    }
+    SpanGuard { name, live }
+}
+
+/// Nanoseconds since the trace epoch right now, or 0 when disarmed.
+///
+/// Capture this at the *start* of an interval whose span you can only
+/// record later (e.g. queue wait, measurable only once a worker picks
+/// the job up) and close it with [`span_retro`].
+pub fn epoch_ns() -> u64 {
+    if !armed() {
+        return 0;
+    }
+    now_ns()
+}
+
+/// Records a span retroactively: begin at `started_ns` (an earlier
+/// [`epoch_ns`] reading, clamped to now), end now. The two events are
+/// pushed adjacently, so the exporter pairs them even when the interval
+/// overlaps other spans recorded in between on this thread.
+pub fn span_retro(name: &'static str, started_ns: u64, args: &[(&'static str, u64)]) {
+    if !armed() {
+        return;
+    }
+    let end_ns = now_ns();
+    let mut packed = NO_ARGS;
+    for (slot, arg) in packed.iter_mut().zip(args.iter()) {
+        *slot = *arg;
+    }
+    record(TraceEvent {
+        kind: TraceKind::Begin,
+        name,
+        t_ns: started_ns.min(end_ns),
+        args: packed,
+    });
+    record(TraceEvent {
+        kind: TraceKind::End,
+        name,
+        t_ns: end_ns,
+        args: NO_ARGS,
+    });
+}
+
 /// Records a point-in-time event.
 pub fn instant(name: &'static str) {
     instant_with(name, &[]);
@@ -487,6 +546,64 @@ mod tests {
         let (outer, inner) = (by_name("outer"), by_name("inner"));
         assert!(ts(inner) >= ts(outer));
         assert!(ts(inner) + dur(inner) <= ts(outer) + dur(outer) + 1e-6);
+    }
+
+    #[test]
+    fn retro_spans_pair_and_carry_args() {
+        let _guard = serial();
+        reset();
+        arm(64);
+        let queued_at = epoch_ns();
+        {
+            // A live span opened *after* the retro interval began: the
+            // adjacent-pair exporter contract must keep them separate.
+            let _solve = span_with("solve", &[("request", 7)]);
+        }
+        span_retro("queue-wait", queued_at, &[("request", 7), ("session", 3)]);
+        disarm();
+        let logs = drain();
+        assert_eq!(logs.len(), 1);
+        let doc = chrome_trace(&logs);
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let completes: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(completes.len(), 2);
+        let by_name = |n: &str| {
+            completes
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(n))
+                .copied()
+                .unwrap()
+        };
+        let wait = by_name("queue-wait");
+        assert_eq!(
+            wait.get("args")
+                .and_then(|a| a.get("session"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let solve = by_name("solve");
+        assert_eq!(
+            solve
+                .get("args")
+                .and_then(|a| a.get("request"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        // The retro span starts at (or before) the live span it preceded.
+        let ts = |e: &Json| e.get("ts").and_then(Json::as_f64).unwrap();
+        assert!(ts(wait) <= ts(solve));
+    }
+
+    #[test]
+    fn epoch_ns_is_zero_when_disarmed() {
+        let _guard = serial();
+        reset();
+        assert_eq!(epoch_ns(), 0);
+        span_retro("ghost", 0, &[]);
+        assert!(drain().is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 use telemetry::json::{FromJson, Json, ToJson};
-use telemetry::{Event, Phase, RunRecord, SCHEMA_VERSION};
+use telemetry::{Event, Phase, RequestRecord, RunRecord, SCHEMA_VERSION};
 
 #[test]
 fn schema_version_is_pinned() {
@@ -78,6 +78,39 @@ fn solve_end_event_golden() {
         event.to_json().to_string(),
         r#"{"schema_version":2,"event":"solve_end","record":{"schema_version":2,"instance_id":"php-6-5","policy":"default","result":"UNSAT","solve_time_s":0.25,"inference_time_s":0.125,"peak_learned_clauses":42,"phases":{"propagate":{"nanos":1500,"calls":1},"analyze":{"nanos":500,"calls":1}},"stats":{"conflicts":77},"extra":{"note":"golden"},"degradations":[]}}"#
     );
+}
+
+#[test]
+fn request_end_event_golden() {
+    let mut record = RequestRecord::new(42, 7);
+    record.worker = 1;
+    record.queue_wait_ms = 2.5;
+    record.solve_ms = 40.0;
+    record.verdict = "unknown".to_string();
+    record.stop_cause = Some("deadline".to_string());
+    record.stats = Json::object().with("conflicts", Json::from(77u64));
+    record.degrade("daemon-degraded", "deadline");
+    let event = Event::RequestEnd { record };
+    assert_eq!(
+        event.to_json().to_string(),
+        r#"{"schema_version":2,"event":"request_end","record":{"schema_version":2,"request_id":42,"session":7,"worker":1,"queue_wait_ms":2.5,"solve_ms":40.0,"verdict":"unknown","stop_cause":"deadline","error_kind":null,"stats":{"conflicts":77},"degradations":[{"kind":"daemon-degraded","detail":"deadline"}]}}"#
+    );
+    let line = event.to_json().to_string();
+    let parsed = Event::from_json(&Json::parse(&line).expect("parses")).expect("round-trips");
+    assert_eq!(parsed, event);
+}
+
+#[test]
+fn error_request_record_golden() {
+    let mut record = RequestRecord::new(9, 3);
+    record.verdict = "error".to_string();
+    record.error_kind = Some("crashed".to_string());
+    assert_eq!(
+        record.to_json().to_string(),
+        r#"{"schema_version":2,"request_id":9,"session":3,"worker":0,"queue_wait_ms":0.0,"solve_ms":0.0,"verdict":"error","stop_cause":null,"error_kind":"crashed","stats":{},"degradations":[]}"#
+    );
+    let parsed = RequestRecord::from_json(&record.to_json()).expect("round-trips");
+    assert_eq!(parsed, record);
 }
 
 #[test]
@@ -160,7 +193,7 @@ fn metrics_snapshot_golden() {
 
     assert_eq!(
         snap.to_json_line(Some(&prev)).to_string(),
-        r#"{"schema_version":2,"event":"metrics_snapshot","seq":3,"elapsed_s":1.5,"counters":{"solver.propagations":100000,"solver.conflicts":250,"solver.decisions":900,"solver.restarts":3,"solver.reductions":2,"solver.learned_clauses":240,"solver.deleted_clauses":120,"phase.propagate_ns":5000000,"phase.propagate_calls":1150,"phase.analyze_ns":2000000,"phase.analyze_calls":250,"phase.reduce_ns":300000,"phase.reduce_calls":2,"phase.inprocess_ns":400000,"phase.inprocess_calls":3,"inprocess.subsumed":18,"inprocess.strengthened":7,"inprocess.eliminated_vars":2,"pool.exported":40,"pool.imported":12,"pipeline.inferences":4,"pipeline.inference_ns":8000000,"daemon.admitted":0,"daemon.rejected":0,"daemon.evicted":0,"daemon.crashed":0,"daemon.deadline_exceeded":0},"gauges":{"solver.memory_bytes":1048576.0,"pipeline.inference_last_s":0.002,"pipeline.policy_confidence":0.875},"rates":{"solver.propagations_per_sec":50000.0,"solver.conflicts_per_sec":100.0,"solver.learned_clauses_per_sec":100.0,"pool.exported_per_sec":20.0,"pool.imported_per_sec":10.0}}"#
+        r#"{"schema_version":2,"event":"metrics_snapshot","seq":3,"elapsed_s":1.5,"counters":{"solver.propagations":100000,"solver.conflicts":250,"solver.decisions":900,"solver.restarts":3,"solver.reductions":2,"solver.learned_clauses":240,"solver.deleted_clauses":120,"phase.propagate_ns":5000000,"phase.propagate_calls":1150,"phase.analyze_ns":2000000,"phase.analyze_calls":250,"phase.reduce_ns":300000,"phase.reduce_calls":2,"phase.inprocess_ns":400000,"phase.inprocess_calls":3,"inprocess.subsumed":18,"inprocess.strengthened":7,"inprocess.eliminated_vars":2,"pool.exported":40,"pool.imported":12,"pipeline.inferences":4,"pipeline.inference_ns":8000000,"daemon.admitted":0,"daemon.rejected":0,"daemon.evicted":0,"daemon.crashed":0,"daemon.deadline_exceeded":0,"daemon.completed":0},"gauges":{"solver.memory_bytes":1048576.0,"pipeline.inference_last_s":0.002,"pipeline.policy_confidence":0.875},"rates":{"solver.propagations_per_sec":50000.0,"solver.conflicts_per_sec":100.0,"solver.learned_clauses_per_sec":100.0,"pool.exported_per_sec":20.0,"pool.imported_per_sec":10.0}}"#
     );
 
     // Without a previous snapshot (the sampler's first line, and the

@@ -20,6 +20,9 @@ pub struct Schema {
     pub version: u64,
     /// Field names of `RunRecord`, in declaration order.
     pub record_fields: Vec<String>,
+    /// Field names of `RequestRecord` (the daemon-side per-request
+    /// record), in declaration order.
+    pub request_fields: Vec<String>,
     /// `Event` variants with their field names, in declaration order.
     pub events: Vec<(String, Vec<String>)>,
 }
@@ -31,13 +34,17 @@ pub struct Schema {
 pub fn extract(lib_src: &str, record_src: &str, sink_src: &str) -> Result<Schema, String> {
     let version = find_version(&lex(lib_src).tokens)
         .ok_or("could not find `SCHEMA_VERSION: u32 = <n>` in telemetry/src/lib.rs")?;
-    let record_fields = struct_fields(&lex(record_src).tokens, "RunRecord")
+    let record_tokens = lex(record_src).tokens;
+    let record_fields = struct_fields(&record_tokens, "RunRecord")
         .ok_or("could not find `struct RunRecord` in telemetry/src/record.rs")?;
+    let request_fields = struct_fields(&record_tokens, "RequestRecord")
+        .ok_or("could not find `struct RequestRecord` in telemetry/src/record.rs")?;
     let events = enum_variants(&lex(sink_src).tokens, "Event")
         .ok_or("could not find `enum Event` in telemetry/src/sink.rs")?;
     Ok(Schema {
         version,
         record_fields,
+        request_fields,
         events,
     })
 }
@@ -204,6 +211,10 @@ pub fn to_manifest(schema: &Schema) -> String {
         "record RunRecord {}\n",
         schema.record_fields.join(" ")
     ));
+    out.push_str(&format!(
+        "record RequestRecord {}\n",
+        schema.request_fields.join(" ")
+    ));
     for (name, fields) in &schema.events {
         out.push_str(&format!("event {} {}\n", name, fields.join(" ")));
     }
@@ -214,6 +225,7 @@ pub fn to_manifest(schema: &Schema) -> String {
 pub fn parse_manifest(text: &str) -> Result<Schema, String> {
     let mut version = None;
     let mut record_fields = None;
+    let mut request_fields = None;
     let mut events = Vec::new();
     for (no, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -230,8 +242,21 @@ pub fn parse_manifest(text: &str) -> Result<Schema, String> {
                 version = Some(v);
             }
             Some("record") => {
-                let _name = parts.next();
-                record_fields = Some(parts.map(String::from).collect());
+                let name = parts.next().ok_or(format!(
+                    "telemetry.schema:{}: record without a name",
+                    no + 1
+                ))?;
+                let fields = Some(parts.map(String::from).collect());
+                match name {
+                    "RunRecord" => record_fields = fields,
+                    "RequestRecord" => request_fields = fields,
+                    other => {
+                        return Err(format!(
+                            "telemetry.schema:{}: unknown record `{other}`",
+                            no + 1
+                        ))
+                    }
+                }
             }
             Some("event") => {
                 let name = parts
@@ -249,7 +274,8 @@ pub fn parse_manifest(text: &str) -> Result<Schema, String> {
     }
     Ok(Schema {
         version: version.ok_or("telemetry.schema: missing version line")?,
-        record_fields: record_fields.ok_or("telemetry.schema: missing record line")?,
+        record_fields: record_fields.ok_or("telemetry.schema: missing RunRecord line")?,
+        request_fields: request_fields.ok_or("telemetry.schema: missing RequestRecord line")?,
         events,
     })
 }
@@ -269,6 +295,13 @@ pub fn compare(current: &Schema, manifest: &Schema, out: &mut Vec<Diagnostic>) {
         .filter(|f| !current.record_fields.contains(f))
         .map(|f| format!("RunRecord.{f}"))
         .collect();
+    removed.extend(
+        manifest
+            .request_fields
+            .iter()
+            .filter(|f| !current.request_fields.contains(f))
+            .map(|f| format!("RequestRecord.{f}")),
+    );
     for (name, fields) in &manifest.events {
         match current.events.iter().find(|(n, _)| n == name) {
             None => removed.push(format!("Event::{name}")),
@@ -313,7 +346,7 @@ mod tests {
     use super::*;
 
     const LIB: &str = "pub const SCHEMA_VERSION: u32 = 3;";
-    const RECORD: &str = "pub struct RunRecord {\n    pub schema_version: u32,\n    pub extras: Option<Vec<(String, u64)>>,\n}";
+    const RECORD: &str = "pub struct RunRecord {\n    pub schema_version: u32,\n    pub extras: Option<Vec<(String, u64)>>,\n}\npub struct RequestRecord {\n    pub request_id: u64,\n    pub verdict: String,\n}";
     const SINK: &str =
         "pub enum Event {\n    Start { id: String, n: u64 },\n    End { record: RunRecord },\n}";
 
@@ -326,6 +359,7 @@ mod tests {
         let s = schema();
         assert_eq!(s.version, 3);
         assert_eq!(s.record_fields, vec!["schema_version", "extras"]);
+        assert_eq!(s.request_fields, vec!["request_id", "verdict"]);
         assert_eq!(
             s.events,
             vec![
@@ -380,6 +414,16 @@ mod tests {
         compare(&current, &schema(), &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("schema-update"));
+    }
+
+    #[test]
+    fn request_record_removal_without_bump_is_flagged() {
+        let mut current = schema();
+        current.request_fields.retain(|f| f != "verdict");
+        let mut out = Vec::new();
+        compare(&current, &schema(), &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("RequestRecord.verdict"));
     }
 
     #[test]
